@@ -1,0 +1,70 @@
+// Command laser runs the LASER system (detection + online repair) around
+// one of the paper's workloads on the simulated machine and prints the
+// contention report — the reproduction's equivalent of
+// "laser ./benchmark" on the paper's Haswell box.
+//
+// Usage:
+//
+//	laser [-scale N] [-sav N] [-threshold HITMs/s] [-norepair] [-list] <workload>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+	"repro/laser"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload input scale (1 = benchmark default)")
+	sav := flag.Int("sav", 19, "PEBS sample-after value")
+	threshold := flag.Float64("threshold", 1000, "report rate threshold in HITMs/s")
+	noRepair := flag.Bool("norepair", false, "disable LASERREPAIR")
+	list := flag.Bool("list", false, "list available workloads")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fix := ""
+			if w.HasFix {
+				fix = " (has manual fix: " + w.FixNote + ")"
+			}
+			fmt.Printf("%-20s %-9s sheriff=%s%s\n", w.Name, w.Suite, w.Sheriff, fix)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: laser [flags] <workload>   (try -list)")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	cfg := laser.DefaultConfig()
+	cfg.PEBS.SAV = *sav
+	cfg.Detector.SAV = *sav
+	cfg.Detector.RateThreshold = *threshold
+	cfg.EnableRepair = !*noRepair
+
+	res, err := laser.RunByName(name, workload.Options{Scale: *scale}, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laser:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s: %.2f ms simulated, %d instructions, %d HITM events\n",
+		name, res.Seconds*1e3, res.Stats.Instructions, res.Stats.HITMs())
+	fmt.Printf("monitoring: %d PEBS records, %d driver interrupts\n",
+		res.PEBSStats.Records, res.DriverStats.Interrupts)
+	switch {
+	case res.RepairApplied:
+		fmt.Println("LASERREPAIR: applied online (software store buffer installed)")
+	case res.RepairErr != nil:
+		fmt.Printf("LASERREPAIR: triggered but declined: %v\n", res.RepairErr)
+	default:
+		fmt.Println("LASERREPAIR: not triggered")
+	}
+	fmt.Println()
+	fmt.Print(res.Report.Render())
+}

@@ -1,0 +1,98 @@
+// Command laserbench regenerates the paper's tables and figures from the
+// simulated system and prints them as text.
+//
+// Usage:
+//
+//	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
+//	           [-ascale N] [-pscale N] [-runs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma separated)")
+	ascale := flag.Float64("ascale", 20, "accuracy experiment scale")
+	pscale := flag.Float64("pscale", 1, "performance experiment scale")
+	runs := flag.Int("runs", 3, "runs per performance data point")
+	flag.Parse()
+
+	cfg := experiments.Config{AccuracyScale: *ascale, PerfScale: *pscale, Runs: *runs}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "laserbench:", err)
+		os.Exit(1)
+	}
+
+	if all || want["fig3"] {
+		_, sums, err := experiments.RunFigure3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure3(sums))
+	}
+	var acc *experiments.AccuracyResult
+	needAcc := all || want["tab1"] || want["tab2"] || want["fig9"]
+	if needAcc {
+		var err error
+		acc, err = experiments.RunAccuracy(cfg)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if all || want["tab1"] {
+		fmt.Println(acc.RenderTable1())
+	}
+	if all || want["tab2"] {
+		fmt.Println(acc.RenderTable2())
+	}
+	if all || want["fig9"] {
+		fmt.Println(experiments.RenderFigure9(acc.Figure9()))
+	}
+	if all || want["fig10"] {
+		rows, err := experiments.RunFigure10(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure10(rows))
+	}
+	if all || want["fig11"] {
+		rows, err := experiments.RunFigure11(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure11(rows))
+	}
+	if all || want["fig12"] {
+		rows, err := experiments.RunFigure12(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure12(rows))
+	}
+	if all || want["fig13"] {
+		points, err := experiments.RunFigure13(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure13(points))
+	}
+	if all || want["fig14"] {
+		rows, err := experiments.RunFigure14(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure14(rows))
+	}
+}

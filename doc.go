@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of the LASER system
+// ("LASER: Light, Accurate Sharing dEtection and Repair", HPCA 2016).
+//
+// LASER detects cache contention — both true sharing and false sharing —
+// using hardware HITM coherence-event records, and repairs false sharing
+// online with a software store buffer injected by binary rewriting.
+//
+// Because the paper depends on Haswell PEBS hardware and Pin-style native
+// binary rewriting, this module reproduces the system on a simulated
+// substrate: a synthetic ISA, a MESI multicore machine, a PEBS model with
+// the paper's measured imprecision, a kernel-driver model, the full
+// LASERDETECT/LASERREPAIR pipelines, VTune- and Sheriff-like baselines, and
+// the Phoenix/Parsec/Splash2x workloads as synthetic programs.
+//
+// Start with package laser (the public API), DESIGN.md (system inventory)
+// and EXPERIMENTS.md (paper-versus-measured results). The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation.
+package repro

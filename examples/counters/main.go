@@ -1,0 +1,84 @@
+// Counters: use the HITM record stream directly, the way §1 suggests —
+// as "an efficient underpinning for identifying inter-thread communication
+// patterns". This example builds a custom two-phase program with the
+// public ISA builder, runs it under the PEBS+driver stack without the
+// detector, and prints the raw communication profile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+)
+
+func main() {
+	// A little pipeline: thread 0 produces into a shared slot; thread 1
+	// consumes and accumulates into a second shared slot read by thread 2.
+	b := isa.NewBuilder().At("pipeline.c", 10)
+	b.Func("stage0")
+	b.Li(1, 0)
+	b.Label("s0").Line(12)
+	b.Load(2, 0, 0, 8)
+	b.AddI(2, 2, 1)
+	b.Store(0, 0, 2, 8)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, 30_000, "s0")
+	b.Halt()
+	b.Func("stage1")
+	b.Li(1, 0)
+	b.Label("s1").Line(22)
+	b.Load(2, 0, 0, 8)
+	b.Load(3, 4, 0, 8)
+	b.Alu(isa.Add, 3, 3, 2)
+	b.Store(4, 0, 3, 8)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, 30_000, "s1")
+	b.Halt()
+	prog := b.Build()
+
+	slotA, slotB := mem.HeapBase, mem.HeapBase+4096
+	specs := []machine.ThreadSpec{
+		{Entry: 0, Regs: map[isa.Reg]int64{0: int64(slotA)}},
+		{Entry: prog.Funcs[1].Start, Regs: map[isa.Reg]int64{0: int64(slotA), 4: int64(slotB)}},
+	}
+
+	vm := mem.StandardMap(prog.AppTextSize(), prog.LibTextSize(), 1<<20, 2)
+	drv := driver.New(driver.DefaultConfig())
+	pcfg := pebs.DefaultConfig()
+	pcfg.SAV = 7
+	pmu := pebs.New(pcfg, 4, prog, vm, drv)
+
+	m := machine.New(prog, machine.Config{Cores: 4, Probe: pmu}, specs)
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	pmu.Drain()
+
+	byLine := map[isa.SourceLoc]int{}
+	for _, r := range drv.Poll() {
+		if idx, ok := prog.IndexOf(r.PC); ok {
+			byLine[prog.LocOf(idx)]++
+		}
+	}
+	type e struct {
+		loc isa.SourceLoc
+		n   int
+	}
+	var out []e
+	for l, n := range byLine {
+		out = append(out, e{l, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].n > out[j].n })
+	fmt.Println("inter-thread communication profile (HITM records by source line):")
+	for _, x := range out {
+		fmt.Printf("  %-16s %6d records\n", x.loc, x.n)
+	}
+	fmt.Println("\nlines 12↔22 exchange data through slot A — the pipeline handoff is visible")
+	fmt.Println("directly in the coherence traffic, without any instrumentation.")
+}

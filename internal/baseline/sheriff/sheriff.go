@@ -1,0 +1,195 @@
+// Package sheriff models the Sheriff comparison system (Liu & Berger,
+// OOPSLA'11) as characterized in §5, §7.1 and §7.3 of the LASER paper:
+// threads run as processes with private address spaces that merge at
+// synchronization points. Sheriff-Detect additionally samples the merged
+// diffs for cross-thread same-line writes; Sheriff-Protect just keeps the
+// isolation (incidentally repairing false sharing). The execution model
+// itself is provided by machine.Config.PrivateMemory; this package adds
+// the detection logic, the compatibility gates, and the twin-page diffing
+// that breaks TSO (the reason LASER refuses this design).
+package sheriff
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Mode selects between Sheriff's two operating modes.
+type Mode int
+
+// Modes.
+const (
+	// Detect periodically write-protects pages to catch multiple threads
+	// writing one line; it costs more and reports findings.
+	Detect Mode = iota
+	// Protect only isolates threads, silently tolerating false sharing.
+	Protect
+)
+
+// Status is a workload's compatibility with Sheriff, mirroring Table 1:
+// many programs crash ("x") or use unsupported constructs ("i").
+type Status int
+
+// Compatibility states.
+const (
+	// OK: the workload runs under Sheriff.
+	OK Status = iota
+	// Incompatible: unsupported pthreads constructs (spin locks, OpenMP).
+	Incompatible
+	// Crash: the workload encounters runtime errors under Sheriff.
+	Crash
+)
+
+var statusNames = [...]string{"ok", "i", "x"}
+
+// String returns the Table 1 marker.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return "?"
+}
+
+// Config tunes Sheriff-Detect's sampling.
+type Config struct {
+	// SampleEvery samples one commit window out of this many; Sheriff
+	// write-protects pages periodically rather than continuously.
+	SampleEvery uint64
+	// MinWindows is how many sampled windows must observe cross-thread
+	// writes to one line before it is reported; single-shot contention
+	// (kmeans' migratory objects, §7.4.2) escapes this filter.
+	MinWindows int
+	// ProtectCycles is the extra cost of a sampled window: page
+	// protection plus the fault storm on first writes.
+	ProtectCycles uint64
+}
+
+// DefaultConfig matches the calibration in DESIGN.md.
+func DefaultConfig() Config {
+	return Config{SampleEvery: 4, MinWindows: 2, ProtectCycles: 18_000}
+}
+
+// Finding is one detected falsely-shared object. Sheriff identifies the
+// data — the allocation site — not the code that touches it (§8).
+type Finding struct {
+	Line      mem.Line
+	AllocSite isa.SourceLoc
+	Windows   int
+}
+
+// Detector implements Sheriff-Detect over the private-memory machine
+// mode: wire OnCommit into machine.Config.OnCommit.
+type Detector struct {
+	mode    Mode
+	cfg     Config
+	resolve func(mem.Line) (isa.SourceLoc, bool)
+
+	commits   uint64
+	sampling  bool
+	window    map[mem.Line]map[int]uint64 // line → writer tid → byte mask
+	histories map[mem.Line]int            // line → windows with cross-thread writes
+}
+
+// NewDetector creates a detector. resolve maps a cache line to the source
+// location of its allocation site (nil means unknown lines are dropped,
+// like Sheriff's "inside the malloc wrapper" reports).
+func NewDetector(mode Mode, cfg Config, resolve func(mem.Line) (isa.SourceLoc, bool)) *Detector {
+	return &Detector{
+		mode:      mode,
+		cfg:       cfg,
+		resolve:   resolve,
+		window:    make(map[mem.Line]map[int]uint64),
+		histories: make(map[mem.Line]int),
+	}
+}
+
+// OnCommit is the machine hook: it observes each thread's dirty lines at
+// synchronization points. In Detect mode a fraction of windows is sampled
+// at page-protection cost.
+func (d *Detector) OnCommit(tid int, writes []machine.LineWrite, now uint64) uint64 {
+	if d.mode != Detect {
+		return 0
+	}
+	d.commits++
+	if d.commits%d.cfg.SampleEvery == 1 {
+		// A new sampled window opens: score the previous one.
+		d.closeWindow()
+		d.sampling = true
+	}
+	if !d.sampling {
+		return 0
+	}
+	for _, w := range writes {
+		m := d.window[w.Line]
+		if m == nil {
+			m = make(map[int]uint64)
+			d.window[w.Line] = m
+		}
+		m[tid] |= w.Mask
+	}
+	return d.cfg.ProtectCycles
+}
+
+// closeWindow scores the currently open window: lines written by two or
+// more threads at disjoint bytes are false-sharing candidates.
+func (d *Detector) closeWindow() {
+	for line, writers := range d.window {
+		if len(writers) < 2 {
+			continue
+		}
+		disjoint := true
+		var union uint64
+		for _, mask := range writers {
+			if union&mask != 0 {
+				disjoint = false
+				break
+			}
+			union |= mask
+		}
+		if disjoint {
+			d.histories[line]++
+		}
+	}
+	d.window = make(map[mem.Line]map[int]uint64)
+}
+
+// Findings returns the lines seen contending in at least MinWindows
+// sampled windows, resolved to allocation sites.
+func (d *Detector) Findings() []Finding {
+	d.closeWindow()
+	var out []Finding
+	for line, n := range d.histories {
+		if n < d.cfg.MinWindows {
+			continue
+		}
+		f := Finding{Line: line, Windows: n}
+		if d.resolve != nil {
+			if loc, ok := d.resolve(line); ok {
+				f.AllocSite = loc
+			}
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// TwinCommit models Sheriff's twin-page diffing, the mechanism §5 shows
+// is incompatible with TSO: at a synchronization point the private copy is
+// compared byte-by-byte against the twin (the snapshot taken when the page
+// was privatized), and only differing bytes are written back. A "silent
+// store" — writing a value equal to the twin's — is invisible to the diff
+// and lost if another thread changed shared memory in between. LASER's
+// byte-mask SSB does not have this flaw.
+func TwinCommit(twin, private, shared []byte) []byte {
+	out := append([]byte(nil), shared...)
+	for i := range private {
+		if private[i] != twin[i] {
+			out[i] = private[i]
+		}
+	}
+	return out
+}

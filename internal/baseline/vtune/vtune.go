@@ -1,0 +1,154 @@
+// Package vtune models the Intel VTune Amplifier XE 2015 comparison point
+// of §7: a profiler built on the same PEBS HITM records LASER uses (§7.1),
+// which raises an interrupt after every event "for improved accuracy",
+// samples general load traffic for its memory-access analysis, applies no
+// record filtering — so the imprecise store-triggered records spray noise
+// across the binary — and reports raw source lines above a rate threshold
+// with no true/false-sharing classification.
+package vtune
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+)
+
+// Config parameterizes the profiler model.
+type Config struct {
+	// LineRateThreshold is the post-processing filter applied in the
+	// paper's methodology: 2K HITMs/s excludes as many VTune false
+	// positives as possible without (further) false negatives (§7.1).
+	LineRateThreshold float64
+	// InterruptCycles is charged per recorded HITM event: VTune
+	// configures PEBS to interrupt after each event rather than
+	// buffering.
+	InterruptCycles uint64
+	// EventCycles is the cheap per-event counting cost paid even when
+	// the interrupt is throttled.
+	EventCycles uint64
+	// ThrottleCycles is the PMU interrupt throttle: at most one record
+	// per core per this many cycles (the kernel's protection against
+	// interrupt storms). LASER's buffered sampling does not need it.
+	ThrottleCycles uint64
+	// ExtraLoadCycles is the average per-load cost of VTune's
+	// memory-access sampling; load-dominated kernels (string_match) pay
+	// the most.
+	ExtraLoadCycles uint64
+	// ExtraInstrCycles models the always-on collection overhead.
+	ExtraInstrCycles uint64
+	// Seed drives the record imprecision model.
+	Seed int64
+}
+
+// DefaultConfig matches the calibration in DESIGN.md.
+func DefaultConfig() Config {
+	return Config{
+		LineRateThreshold: 2_000,
+		InterruptCycles:   2_200,
+		EventCycles:       55,
+		ThrottleCycles:    6_000,
+		ExtraLoadCycles:   18,
+		ExtraInstrCycles:  0,
+		Seed:              7,
+	}
+}
+
+// ReportLine is one line of VTune's contention view.
+type ReportLine struct {
+	Loc  isa.SourceLoc
+	Rate float64
+}
+
+// Profiler implements machine.Probe. It records load-triggered HITM
+// events through the same imprecise PEBS hardware model LASER uses, but
+// consumes them raw.
+type Profiler struct {
+	cfg     Config
+	prog    *isa.Program
+	pmu     *pebs.Unit
+	recs    []pebs.Record
+	lastRec []uint64 // per-core time of the last recorded event
+}
+
+var _ machine.Probe = (*Profiler)(nil)
+
+// recorder collects PEBS buffers for the profiler.
+type recorder struct{ p *Profiler }
+
+func (r recorder) Overflow(core int, recs []pebs.Record) uint64 {
+	r.p.recs = append(r.p.recs, recs...)
+	return 0 // VTune's cost is modelled per event, not per buffer
+}
+
+// New creates a profiler for prog under the given memory map.
+func New(cfg Config, cores int, prog *isa.Program, vm *mem.Map) *Profiler {
+	p := &Profiler{cfg: cfg, prog: prog}
+	pcfg := pebs.Config{
+		SAV:          1, // interrupt after each event
+		BufferCap:    1,
+		AssistCycles: 0, // charged below as InterruptCycles
+		Seed:         cfg.Seed,
+	}
+	p.pmu = pebs.New(pcfg, cores, prog, vm, recorder{p})
+	p.lastRec = make([]uint64, cores)
+	return p
+}
+
+// MachineConfig returns the machine dilation settings for a VTune run.
+func (p *Profiler) MachineConfig() (extraInstr, extraLoad uint64) {
+	return p.cfg.ExtraInstrCycles, p.cfg.ExtraLoadCycles
+}
+
+// OnHITM implements machine.Probe: every HITM event — load- or
+// store-triggered — is counted; a record (and its interrupt) is taken
+// unless the PMU throttle is still cooling down.
+func (p *Profiler) OnHITM(ev machine.HITMEvent) uint64 {
+	if ev.Now-p.lastRec[ev.Core] < p.cfg.ThrottleCycles && p.lastRec[ev.Core] != 0 {
+		return p.cfg.EventCycles
+	}
+	p.lastRec[ev.Core] = ev.Now
+	p.pmu.OnHITM(ev)
+	return p.cfg.EventCycles + p.cfg.InterruptCycles
+}
+
+// OnContextSwitch implements machine.Probe.
+func (p *Profiler) OnContextSwitch(core, from, to int, now uint64) uint64 {
+	return 0
+}
+
+// Events returns the number of HITM records collected.
+func (p *Profiler) Events() int { return len(p.recs) }
+
+// Report aggregates raw records by source line — no memory-map filtering,
+// no outlier rejection, no sharing classification — and applies the rate
+// threshold.
+func (p *Profiler) Report(seconds float64) []ReportLine {
+	if seconds <= 0 {
+		return nil
+	}
+	counts := make(map[isa.SourceLoc]uint64)
+	for _, r := range p.recs {
+		idx, ok := p.prog.IndexOf(r.PC)
+		if !ok {
+			continue // PC outside the binary resolves to no line
+		}
+		counts[p.prog.LocOf(idx)]++
+	}
+	var out []ReportLine
+	for loc, n := range counts {
+		rate := float64(n) / seconds
+		if rate >= p.cfg.LineRateThreshold {
+			out = append(out, ReportLine{Loc: loc, Rate: rate})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].Loc.String() < out[j].Loc.String()
+	})
+	return out
+}

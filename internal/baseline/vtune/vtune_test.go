@@ -1,0 +1,160 @@
+package vtune
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// rwContention builds a read-write false-sharing loop (load-add-store), so
+// load-triggered HITM records exist for VTune to see.
+func rwContention(iters int64) (*isa.Program, []machine.ThreadSpec) {
+	b := isa.NewBuilder().At("app.c", 7)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Label("loop").Line(9)
+	b.Load(2, 0, 0, 8)
+	b.AddI(2, 2, 1)
+	b.Store(0, 0, 2, 8)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, iters, "loop")
+	b.Halt()
+	p := b.Build()
+	return p, []machine.ThreadSpec{
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}},
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase) + 8}},
+	}
+}
+
+// wwContention builds a store-only (write-write) loop: the -O3
+// linear_regression shape that generates no load-triggered records.
+func wwContention(iters int64) (*isa.Program, []machine.ThreadSpec) {
+	b := isa.NewBuilder().At("ww.c", 3)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Label("loop").Line(5)
+	b.Store(0, 0, 1, 8)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, iters, "loop")
+	b.Halt()
+	p := b.Build()
+	return p, []machine.ThreadSpec{
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}},
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase) + 8}},
+	}
+}
+
+func runUnder(t *testing.T, p *isa.Program, specs []machine.ThreadSpec) (*Profiler, *machine.Stats) {
+	t.Helper()
+	vm := mem.StandardMap(p.AppTextSize(), p.LibTextSize(), 1<<20, len(specs))
+	prof := New(DefaultConfig(), 4, p, vm)
+	ei, el := prof.MachineConfig()
+	m := machine.New(p, machine.Config{Cores: 4, Probe: prof,
+		ExtraInstrCycles: ei, ExtraLoadCycles: el}, specs)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, st
+}
+
+func TestVTuneDetectsReadWriteContention(t *testing.T) {
+	p, specs := rwContention(20000)
+	prof, st := runUnder(t, p, specs)
+	rep := prof.Report(st.Seconds())
+	if len(rep) == 0 {
+		t.Fatalf("VTune reported nothing (%d events)", prof.Events())
+	}
+	found := false
+	for _, l := range rep {
+		if l.Loc.File == "app.c" && l.Loc.Line == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("VTune missed the contending line: %+v", rep)
+	}
+}
+
+func TestVTuneSeesWriteOnlyContentionImprecisely(t *testing.T) {
+	// Pure write-write contention produces only store-triggered records.
+	// VTune still collects them, but most carry scattered PCs — the raw
+	// report names the hot line only because the volume is enormous, and
+	// spurious lines can tag along.
+	p, specs := wwContention(60000)
+	prof, st := runUnder(t, p, specs)
+	if st.HITMs() == 0 {
+		t.Fatal("workload generated no HITMs at all")
+	}
+	if prof.Events() == 0 {
+		t.Fatal("profiler collected no records on a WW workload")
+	}
+	rep := prof.Report(st.Seconds())
+	found := false
+	for _, l := range rep {
+		if l.Loc.File == "ww.c" && l.Loc.Line == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("high-volume WW line not in report: %+v", rep)
+	}
+}
+
+func TestVTuneOverheadExceedsNative(t *testing.T) {
+	p, specs := rwContention(5000)
+	_, st := runUnder(t, p, specs)
+	p2, specs2 := rwContention(5000)
+	m := machine.New(p2, machine.Config{Cores: 4}, specs2)
+	native, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= native.Cycles {
+		t.Errorf("VTune run not slower: %d vs %d", st.Cycles, native.Cycles)
+	}
+}
+
+func TestVTuneLoadHeavyWorstCase(t *testing.T) {
+	// A string_match-shaped scan: load-dominated tight loop. VTune's
+	// per-load sampling cost must dilate it far more than a
+	// compute-dominated loop.
+	build := func(loads bool) (*isa.Program, []machine.ThreadSpec) {
+		b := isa.NewBuilder().At("scan.c", 1)
+		b.Func("worker")
+		b.Li(1, 0)
+		b.Label("loop")
+		if loads {
+			b.Load(2, 0, 0, 1)
+			b.Load(3, 0, 1, 1)
+		} else {
+			b.AluI(isa.Mul, 2, 2, 3)
+			b.AluI(isa.Add, 3, 3, 1)
+		}
+		b.AddI(1, 1, 1)
+		b.BranchI(isa.Lt, 1, 30000, "loop")
+		b.Halt()
+		p := b.Build()
+		return p, []machine.ThreadSpec{{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}}}
+	}
+	slow := func(loads bool) float64 {
+		p, specs := build(loads)
+		_, st := runUnder(t, p, specs)
+		p2, specs2 := build(loads)
+		m := machine.New(p2, machine.Config{Cores: 4}, specs2)
+		native, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(st.Cycles) / float64(native.Cycles)
+	}
+	loadSlow, aluSlow := slow(true), slow(false)
+	if loadSlow < 2 {
+		t.Errorf("load-heavy dilation = %.2fx, want > 2x", loadSlow)
+	}
+	if loadSlow < 2*aluSlow {
+		t.Errorf("load-heavy (%.2fx) should far exceed compute-heavy (%.2fx)", loadSlow, aluSlow)
+	}
+}

@@ -1,0 +1,109 @@
+// Package bugdb is the ground-truth database of known performance bugs
+// used to score detection accuracy (§7.1): "We created a database
+// containing all known performance bugs in our benchmarks, by examining
+// prior work. … These new and validated contention sources were
+// integrated to create the final database."
+package bugdb
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Bug is one known performance bug: its contention type and the source
+// lines that participate (a report matching any of them finds the bug).
+type Bug struct {
+	Workload string
+	Kind     core.ContentionKind // the actual contention type (Table 2)
+	Lines    []isa.SourceLoc
+	Note     string
+}
+
+func loc(file string, lines ...int) []isa.SourceLoc {
+	out := make([]isa.SourceLoc, len(lines))
+	for i, l := range lines {
+		out[i] = isa.SourceLoc{File: file, Line: l}
+	}
+	return out
+}
+
+// The database. Table 2's "contention" column lists kmeans as FS, but
+// §7.4.2 documents at length that kmeans's contention is read-write true
+// sharing on the sum objects plus the redundant modified flag; we follow
+// the prose (see DESIGN.md).
+var bugs = []Bug{
+	{
+		Workload: "bodytrack", Kind: core.TrueSharing,
+		Lines: loc("TicketDispenser.h", 77),
+		Note:  "TicketDispenser::getTicket distributes counter values (§7.4.2)",
+	},
+	{
+		Workload: "dedup", Kind: core.TrueSharing,
+		Lines: loc("queue.c", 28, 30, 32, 33, 34, 35, 40, 42, 43, 44, 45, 47),
+		Note:  "single-lock concurrent queue serializes the pipeline (§7.4.2)",
+	},
+	{
+		Workload: "histogram'", Kind: core.FalseSharing,
+		Lines: loc("histogram.c", 60, 61, 63),
+		Note:  "unpadded per-thread counters share a line (§7.4.1)",
+	},
+	{
+		Workload: "kmeans", Kind: core.TrueSharing,
+		Lines: loc("kmeans.c", 210, 211, 240),
+		Note:  "migratory sum objects + redundant modified flag (§7.4.2)",
+	},
+	{
+		Workload: "linear_regression", Kind: core.FalseSharing,
+		Lines: loc("lreg.c", 102, 104, 105, 107, 108, 109),
+		Note:  "lreg_args array straddles cache lines (Figure 2)",
+	},
+	{
+		Workload: "lu_ncb", Kind: core.FalseSharing,
+		Lines: loc("lu_ncb.c", 321, 322, 323, 330, 360, 362),
+		Note:  "the a array's rows straddle line boundaries (§7.4.2)",
+	},
+	{
+		Workload: "reverse_index", Kind: core.FalseSharing,
+		Lines: loc("rev_index.c", 131),
+		Note:  "use_len[] elements share a line (§7.4.1)",
+	},
+	{
+		Workload: "streamcluster", Kind: core.FalseSharing,
+		Lines: loc("streamcluster.cpp", 1010),
+		Note:  "work_mem padding smaller than the 64B line (§7.4.3)",
+	},
+	{
+		Workload: "volrend", Kind: core.TrueSharing,
+		Lines: loc("volrend.c", 610, 612),
+		Note:  "lock-protected Global->Queue counter (§7.4.3)",
+	},
+}
+
+// All returns every known bug.
+func All() []Bug { return bugs }
+
+// For returns the bugs of one workload (usually zero or one).
+func For(workload string) []Bug {
+	var out []Bug
+	for _, b := range bugs {
+		if b.Workload == workload {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// IsBugLine reports whether loc belongs to any bug of the workload.
+func IsBugLine(workload string, l isa.SourceLoc) bool {
+	for _, b := range For(workload) {
+		for _, bl := range b.Lines {
+			if bl == l {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TotalBugs counts distinct bugs in the database (the paper's nine).
+func TotalBugs() int { return len(bugs) }

@@ -1,0 +1,64 @@
+package bugdb
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func TestNineBugs(t *testing.T) {
+	if TotalBugs() != 9 {
+		t.Errorf("database holds %d bugs, the paper identifies 9", TotalBugs())
+	}
+}
+
+func TestEveryBugWorkloadExists(t *testing.T) {
+	for _, b := range All() {
+		if _, ok := workload.Get(b.Workload); !ok {
+			t.Errorf("bug references unknown workload %q", b.Workload)
+		}
+		if len(b.Lines) == 0 {
+			t.Errorf("%s has no lines", b.Workload)
+		}
+		if b.Kind != core.TrueSharing && b.Kind != core.FalseSharing {
+			t.Errorf("%s has no contention type", b.Workload)
+		}
+	}
+}
+
+func TestTable2Composition(t *testing.T) {
+	// Four true-sharing and five false-sharing bugs (Table 2, with the
+	// kmeans prose correction of §7.4.2 — see DESIGN.md).
+	ts, fs := 0, 0
+	for _, b := range All() {
+		switch b.Kind {
+		case core.TrueSharing:
+			ts++
+		case core.FalseSharing:
+			fs++
+		}
+	}
+	if ts != 4 || fs != 5 {
+		t.Errorf("TS/FS = %d/%d, want 4/5", ts, fs)
+	}
+}
+
+func TestIsBugLine(t *testing.T) {
+	if !IsBugLine("histogram'", isa.SourceLoc{File: "histogram.c", Line: 63}) {
+		t.Error("histogram' counter line should match")
+	}
+	if IsBugLine("histogram'", isa.SourceLoc{File: "histogram.c", Line: 9999}) {
+		t.Error("unknown line matched")
+	}
+	if IsBugLine("blackscholes", isa.SourceLoc{File: "histogram.c", Line: 63}) {
+		t.Error("bug matched wrong workload")
+	}
+}
+
+func TestForUnknownWorkload(t *testing.T) {
+	if len(For("nonesuch")) != 0 {
+		t.Error("bugs found for unknown workload")
+	}
+}

@@ -1,0 +1,213 @@
+// Package coherence implements a line-granular MESI cache coherence model
+// for the simulated multicore. It is the substrate that generates HITM
+// events: a HITM occurs when a core's memory access hits a line that is in
+// Modified state in a remote cache (§2, Figure 1 of the paper). The model
+// tracks per-line ownership and sharers; capacity and associativity are not
+// modelled (contention, not capacity, is what LASER measures).
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MaxCores bounds the number of cores (sharers are a uint64 bitmask).
+const MaxCores = 64
+
+// Result classifies the outcome of one access; the machine maps each class
+// to a cycle cost.
+type Result uint8
+
+// Access outcomes.
+const (
+	// HitLocal: the line was already valid in the requesting core's cache
+	// with sufficient permission.
+	HitLocal Result = iota
+	// HitShared: read hit on a line this core shares with others.
+	HitShared
+	// MissMemory: the line came from memory (no cached copy anywhere).
+	MissMemory
+	// MissRemoteClean: the line came from a remote cache in clean
+	// (Exclusive/Shared) state; no HITM.
+	MissRemoteClean
+	// HITMLoad: a load hit a remote Modified line (Figure 1a). This is
+	// the event Haswell reports precisely.
+	HITMLoad
+	// HITMStore: a store hit a remote Modified line (Figure 1c). Haswell
+	// records these imprecisely (§3.1).
+	HITMStore
+	// Upgrade: a store to a line held Shared; remote copies were
+	// invalidated but none was Modified (Figure 1b seen from the writer).
+	Upgrade
+)
+
+var resultNames = [...]string{
+	"HitLocal", "HitShared", "MissMemory", "MissRemoteClean",
+	"HITMLoad", "HITMStore", "Upgrade",
+}
+
+// String names the result class.
+func (r Result) String() string {
+	if int(r) < len(resultNames) {
+		return resultNames[r]
+	}
+	return fmt.Sprintf("Result(%d)", uint8(r))
+}
+
+// IsHITM reports whether the access triggered a HITM coherence event.
+func (r Result) IsHITM() bool { return r == HITMLoad || r == HITMStore }
+
+// lineState tracks one cache line across all cores.
+type lineState struct {
+	sharers  uint64 // bitmask of cores with a valid copy
+	owner    int8   // core holding the line M or E; -1 when shared/invalid
+	modified bool   // owner's copy is dirty (M rather than E)
+}
+
+// Access is the detailed outcome of Model.Access.
+type Access struct {
+	Result Result
+	// Remote is the core whose Modified copy serviced a HITM, or -1.
+	Remote int
+}
+
+// Model is the coherence directory for one machine. The zero value is not
+// usable; call NewModel.
+type Model struct {
+	cores int
+	lines map[mem.Line]*lineState
+
+	// Stats, by result class.
+	Counts [len(resultNames)]uint64
+}
+
+// NewModel returns a directory for the given core count.
+func NewModel(cores int) *Model {
+	if cores <= 0 || cores > MaxCores {
+		panic(fmt.Sprintf("coherence: bad core count %d", cores))
+	}
+	return &Model{cores: cores, lines: make(map[mem.Line]*lineState)}
+}
+
+// Cores returns the number of cores the model was built for.
+func (m *Model) Cores() int { return m.cores }
+
+// Access performs the coherence transaction for one memory access by core
+// on the line containing addr, and returns its classification. Accesses
+// that span two lines are modelled as touching only the first line,
+// matching the single data address in a HITM record.
+func (m *Model) Access(core int, addr mem.Addr, write bool) Access {
+	if core < 0 || core >= m.cores {
+		panic(fmt.Sprintf("coherence: bad core %d", core))
+	}
+	line := mem.LineOf(addr)
+	st := m.lines[line]
+	if st == nil {
+		st = &lineState{owner: -1}
+		m.lines[line] = st
+	}
+	res := m.access(core, st, write)
+	m.Counts[res.Result]++
+	return res
+}
+
+func (m *Model) access(core int, st *lineState, write bool) Access {
+	bit := uint64(1) << uint(core)
+	if !write {
+		switch {
+		case st.owner == int8(core):
+			return Access{Result: HitLocal, Remote: -1}
+		case st.owner >= 0 && st.modified:
+			// Remote M: the HITM case of Figure 1a.
+			remote := int(st.owner)
+			st.sharers = (uint64(1) << uint(st.owner)) | bit
+			st.owner = -1
+			st.modified = false
+			return Access{Result: HITMLoad, Remote: remote}
+		case st.owner >= 0:
+			// Remote E: clean transfer, both become S.
+			st.sharers = (uint64(1) << uint(st.owner)) | bit
+			st.owner = -1
+			return Access{Result: MissRemoteClean, Remote: -1}
+		case st.sharers&bit != 0:
+			return Access{Result: HitShared, Remote: -1}
+		case st.sharers != 0:
+			st.sharers |= bit
+			return Access{Result: MissRemoteClean, Remote: -1}
+		default:
+			// Nobody has it: load exclusive.
+			st.owner = int8(core)
+			st.modified = false
+			return Access{Result: MissMemory, Remote: -1}
+		}
+	}
+	switch {
+	case st.owner == int8(core):
+		st.modified = true
+		return Access{Result: HitLocal, Remote: -1}
+	case st.owner >= 0 && st.modified:
+		// Remote M: the write-write HITM of Figure 1c.
+		remote := int(st.owner)
+		st.owner = int8(core)
+		st.modified = true
+		st.sharers = 0
+		return Access{Result: HITMStore, Remote: remote}
+	case st.owner >= 0:
+		// Remote E, clean: invalidate and take ownership.
+		st.owner = int8(core)
+		st.modified = true
+		st.sharers = 0
+		return Access{Result: MissRemoteClean, Remote: -1}
+	case st.sharers&^bit != 0:
+		// Others share: upgrade with invalidations (Figure 1b).
+		st.owner = int8(core)
+		st.modified = true
+		st.sharers = 0
+		return Access{Result: Upgrade, Remote: -1}
+	case st.sharers == bit:
+		// Sole sharer: silent upgrade.
+		st.owner = int8(core)
+		st.modified = true
+		st.sharers = 0
+		return Access{Result: HitLocal, Remote: -1}
+	default:
+		st.owner = int8(core)
+		st.modified = true
+		return Access{Result: MissMemory, Remote: -1}
+	}
+}
+
+// Invalidate drops every cached copy of the line containing addr. Used
+// when simulated code is hot-swapped and by tests.
+func (m *Model) Invalidate(addr mem.Addr) {
+	delete(m.lines, mem.LineOf(addr))
+}
+
+// Reset clears all coherence state and statistics.
+func (m *Model) Reset() {
+	m.lines = make(map[mem.Line]*lineState)
+	m.Counts = [len(resultNames)]uint64{}
+}
+
+// HITMs returns the total number of HITM events observed.
+func (m *Model) HITMs() uint64 { return m.Counts[HITMLoad] + m.Counts[HITMStore] }
+
+// CheckInvariants verifies the single-writer/multiple-reader protocol
+// invariants on every tracked line; it returns an error describing the
+// first violation. Property tests call this after random access sequences.
+func (m *Model) CheckInvariants() error {
+	for line, st := range m.lines {
+		if st.owner >= 0 && st.sharers != 0 {
+			return fmt.Errorf("line %#x: owner %d coexists with sharers %b",
+				uint64(line), st.owner, st.sharers)
+		}
+		if st.owner < 0 && st.modified {
+			return fmt.Errorf("line %#x: modified without owner", uint64(line))
+		}
+		if st.owner >= int8(m.cores) {
+			return fmt.Errorf("line %#x: owner %d out of range", uint64(line), st.owner)
+		}
+	}
+	return nil
+}

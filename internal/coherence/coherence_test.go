@@ -1,0 +1,232 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestWriteReadHITM(t *testing.T) {
+	m := NewModel(4)
+	a := mem.Addr(0x1000)
+	if r := m.Access(0, a, true); r.Result != MissMemory {
+		t.Fatalf("cold write = %v", r.Result)
+	}
+	r := m.Access(1, a, false)
+	if r.Result != HITMLoad {
+		t.Fatalf("remote read of M line = %v, want HITMLoad", r.Result)
+	}
+	if r.Remote != 0 {
+		t.Errorf("remote core = %d, want 0", r.Remote)
+	}
+	// After the HITM the line is shared; a re-read is a hit.
+	if r := m.Access(1, a, false); r.Result != HitShared {
+		t.Errorf("re-read = %v, want HitShared", r.Result)
+	}
+}
+
+func TestWriteWriteHITM(t *testing.T) {
+	m := NewModel(4)
+	a := mem.Addr(0x2000)
+	m.Access(0, a, true)
+	r := m.Access(1, a, true)
+	if r.Result != HITMStore || r.Remote != 0 {
+		t.Fatalf("remote write of M line = %v remote %d", r.Result, r.Remote)
+	}
+	// Ping-pong continues symmetrically.
+	if r := m.Access(0, a, true); r.Result != HITMStore {
+		t.Errorf("write back from core 0 = %v", r.Result)
+	}
+}
+
+func TestReadWriteUpgrade(t *testing.T) {
+	m := NewModel(4)
+	a := mem.Addr(0x3000)
+	m.Access(0, a, false) // E in core 0
+	m.Access(1, a, false) // both S
+	r := m.Access(0, a, true)
+	if r.Result != Upgrade {
+		t.Fatalf("write to shared line = %v, want Upgrade", r.Result)
+	}
+	// Core 1 re-reads: remote M now → HITM.
+	if r := m.Access(1, a, false); r.Result != HITMLoad {
+		t.Errorf("read after upgrade = %v, want HITMLoad", r.Result)
+	}
+}
+
+func TestReadReadNoContention(t *testing.T) {
+	m := NewModel(4)
+	a := mem.Addr(0x4000)
+	m.Access(0, a, false)
+	m.Access(1, a, false)
+	m.Access(2, a, false)
+	for c := 0; c < 3; c++ {
+		if r := m.Access(c, a, false); r.Result != HitShared {
+			t.Errorf("core %d read-shared = %v", c, r.Result)
+		}
+	}
+	if m.HITMs() != 0 {
+		t.Errorf("read-read sharing produced %d HITMs", m.HITMs())
+	}
+}
+
+func TestExclusiveSilentUpgrade(t *testing.T) {
+	m := NewModel(2)
+	a := mem.Addr(0x5000)
+	m.Access(0, a, false) // E
+	if r := m.Access(0, a, true); r.Result != HitLocal {
+		t.Errorf("E→M silent upgrade = %v, want HitLocal", r.Result)
+	}
+}
+
+func TestRemoteCleanTransferNoHITM(t *testing.T) {
+	m := NewModel(2)
+	a := mem.Addr(0x6000)
+	m.Access(0, a, false) // E in 0
+	if r := m.Access(1, a, true); r.Result != MissRemoteClean {
+		t.Errorf("write over remote E = %v, want MissRemoteClean", r.Result)
+	}
+}
+
+func TestFalseSharingDistinctOffsetsSameLine(t *testing.T) {
+	// The essence of false sharing: distinct addresses, same line,
+	// different cores → HITM ping-pong.
+	m := NewModel(2)
+	base := mem.Addr(0x7000)
+	m.Access(0, base, true)
+	m.Access(1, base+32, true)
+	m.Access(0, base, true)
+	m.Access(1, base+32, true)
+	if got := m.Counts[HITMStore]; got != 3 {
+		t.Errorf("HITMStore count = %d, want 3", got)
+	}
+	// Padding to distinct lines eliminates contention.
+	m.Reset()
+	m.Access(0, base, true)
+	m.Access(1, base+mem.LineSize, true)
+	m.Access(0, base, true)
+	m.Access(1, base+mem.LineSize, true)
+	if m.HITMs() != 0 {
+		t.Errorf("padded writes produced %d HITMs", m.HITMs())
+	}
+}
+
+func TestDistinctLinesIndependent(t *testing.T) {
+	m := NewModel(2)
+	m.Access(0, 0x8000, true)
+	if r := m.Access(1, 0x8040, true); r.Result != MissMemory {
+		t.Errorf("distinct line = %v, want MissMemory", r.Result)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	m := NewModel(2)
+	m.Access(0, 0x9000, true)
+	m.Access(1, 0x9000, false)
+	if m.HITMs() != 1 || m.Counts[MissMemory] != 1 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	m.Reset()
+	if m.HITMs() != 0 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	m := NewModel(2)
+	m.Access(0, 0xa000, true)
+	m.Invalidate(0xa000)
+	if r := m.Access(1, 0xa000, false); r.Result != MissMemory {
+		t.Errorf("after invalidate = %v, want MissMemory", r.Result)
+	}
+}
+
+func TestBadCorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range core")
+		}
+	}()
+	NewModel(2).Access(5, 0x1000, true)
+}
+
+func TestBadModelSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 cores")
+		}
+	}()
+	NewModel(0)
+}
+
+// Property: after any access sequence, MESI invariants hold, and an access
+// immediately repeated by the same core is always a local hit (read) or
+// local hit (write).
+func TestCoherencePropertyRandomAccesses(t *testing.T) {
+	type step struct {
+		Core  uint8
+		Line  uint8
+		Write bool
+	}
+	f := func(steps []step) bool {
+		m := NewModel(4)
+		for _, s := range steps {
+			core := int(s.Core) % 4
+			addr := mem.Addr(0x10000) + mem.Addr(s.Line%16)*mem.LineSize
+			m.Access(core, addr, s.Write)
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+			// Immediate same-core repeat must hit locally (write) or at
+			// least not HITM (read may be HitShared).
+			r := m.Access(core, addr, s.Write)
+			if r.Result.IsHITM() || r.Result == MissMemory {
+				t.Logf("repeat access = %v", r.Result)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HITM events are only ever generated when a *different* core
+// held the line modified — never by the line's own writer.
+func TestHITMRequiresRemoteWriterProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m := NewModel(4)
+		lastWriter := map[mem.Line]int{}
+		for _, b := range seq {
+			core := int(b>>6) % 4
+			addr := mem.Addr(0x20000) + mem.Addr(b%8)*mem.LineSize
+			write := b&0x20 != 0
+			r := m.Access(core, addr, write)
+			if r.Result.IsHITM() {
+				w, ok := lastWriter[mem.LineOf(addr)]
+				if !ok || w == core || r.Remote != w {
+					return false
+				}
+			}
+			if write {
+				lastWriter[mem.LineOf(addr)] = core
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if HITMLoad.String() != "HITMLoad" || Result(99).String() == "" {
+		t.Error("Result.String misbehaves")
+	}
+	if !HITMStore.IsHITM() || Upgrade.IsHITM() {
+		t.Error("IsHITM misclassifies")
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+)
+
+// fsProgram builds the canonical false-sharing loop: each thread
+// increments its own 8-byte slot; slots share a cache line.
+func fsProgram() *isa.Program {
+	b := isa.NewBuilder().At("fs.c", 40)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Label("loop").Line(42)
+	b.Load(2, 0, 0, 8)
+	b.AddI(2, 2, 1)
+	b.Store(0, 0, 2, 8)
+	b.Line(43).AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, 20000, "loop")
+	b.Line(45).Halt()
+	return b.Build()
+}
+
+// tsProgram builds true sharing: all threads hammer the same 8-byte flag.
+func tsProgram() *isa.Program {
+	b := isa.NewBuilder().At("ts.c", 10)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Li(2, 1)
+	b.Label("loop").Line(12)
+	b.Store(0, 0, 2, 8)
+	b.Load(3, 0, 0, 8)
+	b.Line(13).AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, 20000, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+// runDetect executes prog on the simulated machine under full LASER
+// monitoring and returns the pipeline plus observed seconds.
+func runDetect(t *testing.T, prog *isa.Program, specs []machine.ThreadSpec, sav int) (*Pipeline, float64) {
+	t.Helper()
+	vm := mem.StandardMap(prog.AppTextSize(), prog.LibTextSize(), 1<<20, len(specs))
+	drv := driver.New(driver.DefaultConfig())
+	pcfg := pebs.DefaultConfig()
+	pcfg.SAV = sav
+	pmu := pebs.New(pcfg, 4, prog, vm, drv)
+	cfg := DefaultConfig()
+	cfg.SAV = sav
+	pipe, err := NewPipeline(cfg, vm.Render(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(prog, machine.Config{Cores: 4, Probe: pmu}, specs)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmu.Drain()
+	pipe.Feed(drv.Poll())
+	return pipe, st.Seconds()
+}
+
+func fsSpecs() []machine.ThreadSpec {
+	return []machine.ThreadSpec{
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}},
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase) + 8}},
+	}
+}
+
+func tsSpecs() []machine.ThreadSpec {
+	return []machine.ThreadSpec{
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}},
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}},
+	}
+}
+
+func TestDetectsFalseSharingLine(t *testing.T) {
+	pipe, secs := runDetect(t, fsProgram(), fsSpecs(), 19)
+	rep := pipe.Report(secs)
+	if len(rep.Lines) == 0 {
+		t.Fatalf("no contention reported:\n%+v", pipe.Filter())
+	}
+	top := rep.Lines[0]
+	if top.Loc.File != "fs.c" || top.Loc.Line != 42 {
+		t.Errorf("top line = %v, want fs.c:42", top.Loc)
+	}
+	if top.Kind != FalseSharing {
+		t.Errorf("kind = %v, want FS (ts=%d fs=%d)", top.Kind, top.TS, top.FS)
+	}
+}
+
+func TestDetectsTrueSharingLine(t *testing.T) {
+	pipe, secs := runDetect(t, tsProgram(), tsSpecs(), 19)
+	rep := pipe.Report(secs)
+	if len(rep.Lines) == 0 {
+		t.Fatal("no contention reported")
+	}
+	top := rep.Lines[0]
+	if top.Loc.File != "ts.c" || top.Loc.Line != 12 {
+		t.Errorf("top line = %v, want ts.c:12", top.Loc)
+	}
+	if top.Kind != TrueSharing {
+		t.Errorf("kind = %v, want TS (ts=%d fs=%d)", top.Kind, top.TS, top.FS)
+	}
+}
+
+func TestNoContentionNoReport(t *testing.T) {
+	b := isa.NewBuilder().At("quiet.c", 1)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Label("loop")
+	b.Load(2, 0, 0, 8)
+	b.AddI(2, 2, 1)
+	b.Store(0, 0, 2, 8)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, 20000, "loop")
+	b.Halt()
+	prog := b.Build()
+	specs := []machine.ThreadSpec{
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase)}},
+		{Regs: map[isa.Reg]int64{0: int64(mem.HeapBase) + 2*mem.LineSize}},
+	}
+	pipe, secs := runDetect(t, prog, specs, 19)
+	rep := pipe.Report(secs)
+	if len(rep.Lines) != 0 {
+		t.Errorf("padded program reported contention: %v", rep.Render())
+	}
+}
+
+func TestFilterDropsSpuriousRecords(t *testing.T) {
+	pipe, _ := runDetect(t, fsProgram(), fsSpecs(), 19)
+	f := pipe.Filter()
+	if f.Processed == 0 {
+		t.Fatal("no records processed")
+	}
+	// Load-triggered records are ~25% corrupt; nearly all corrupt
+	// addresses are unmapped and must be dropped by the outlier stage.
+	if f.DroppedOutlier == 0 {
+		t.Error("outlier filter dropped nothing")
+	}
+	if f.Kept == 0 {
+		t.Error("nothing survived filtering")
+	}
+	total := f.DroppedPC + f.DroppedStack + f.DroppedOutlier + f.Kept
+	if total != f.Processed {
+		t.Errorf("filter stages inconsistent: %+v", f)
+	}
+}
+
+func TestRateThresholdFiltersOfflineReThreshold(t *testing.T) {
+	pipe, secs := runDetect(t, fsProgram(), fsSpecs(), 19)
+	loose := pipe.ReportAt(secs, 1) // virtually everything
+	tight := pipe.ReportAt(secs, 1e12)
+	if len(tight.Lines) != 0 {
+		t.Errorf("absurd threshold still reported %d lines", len(tight.Lines))
+	}
+	def := pipe.Report(secs)
+	if len(loose.Lines) < len(def.Lines) {
+		t.Errorf("loose threshold reported fewer lines (%d) than default (%d)",
+			len(loose.Lines), len(def.Lines))
+	}
+}
+
+func TestRepairCandidatesTriggerOnFS(t *testing.T) {
+	pipe, secs := runDetect(t, fsProgram(), fsSpecs(), 19)
+	pcs, ok := pipe.RepairCandidates(secs)
+	if !ok {
+		t.Fatal("repair not triggered on intense false sharing")
+	}
+	if len(pcs) == 0 {
+		t.Fatal("no candidate PCs")
+	}
+	// The top PC must belong to the contending source line (modulo skid).
+	prog := fsProgram()
+	idx, ok2 := prog.IndexOf(pcs[0])
+	if !ok2 {
+		t.Fatalf("candidate PC %#x not in program", pcs[0])
+	}
+	if loc := prog.LocOf(idx); loc.Line < 42 || loc.Line > 43 {
+		t.Errorf("candidate PC at %v, want the loop body", loc)
+	}
+}
+
+func TestRepairNotTriggeredOnTrueSharing(t *testing.T) {
+	pipe, secs := runDetect(t, tsProgram(), tsSpecs(), 19)
+	if _, ok := pipe.RepairCandidates(secs); ok {
+		t.Error("repair triggered on true sharing")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	pipe, secs := runDetect(t, fsProgram(), fsSpecs(), 19)
+	text := pipe.Report(secs).Render()
+	if !strings.Contains(text, "fs.c:42") || !strings.Contains(text, "FS") {
+		t.Errorf("render missing expected content:\n%s", text)
+	}
+}
+
+func TestDetectorCyclesAccounted(t *testing.T) {
+	pipe, _ := runDetect(t, fsProgram(), fsSpecs(), 19)
+	if pipe.DetectorCycles() == 0 {
+		t.Error("detector cycles not accounted")
+	}
+}
+
+func TestPipelineRejectsBadInput(t *testing.T) {
+	prog := fsProgram()
+	if _, err := NewPipeline(DefaultConfig(), "garbage line\n", prog); err == nil {
+		t.Error("expected error for bad maps text")
+	}
+	cfg := DefaultConfig()
+	cfg.SAV = 0
+	vm := mem.StandardMap(prog.AppTextSize(), 0, 1<<20, 2)
+	if _, err := NewPipeline(cfg, vm.Render(), prog); err == nil {
+		t.Error("expected error for SAV=0")
+	}
+}
+
+func TestFeedSyntheticRecordsClassification(t *testing.T) {
+	// Drive the cache line model directly with hand-made records:
+	// overlapping write-read on one line = TS; disjoint writes = FS.
+	prog := fsProgram()
+	vm := mem.StandardMap(prog.AppTextSize(), 0, 1<<20, 2)
+	cfg := DefaultConfig()
+	cfg.RateThreshold = 0
+	cfg.MinClassifyEvents = 2
+	pipe, err := NewPipeline(cfg, vm.Render(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadPC := prog.Instrs[1].PC  // ld8
+	storePC := prog.Instrs[3].PC // st8
+	lineA := mem.HeapBase
+	// Alternating store/load at the same address: overlap + write = TS.
+	var recs []driver.Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, driver.Record{PC: storePC, Addr: lineA, Cycles: uint64(i)})
+		recs = append(recs, driver.Record{PC: loadPC, Addr: lineA, Cycles: uint64(i)})
+	}
+	// Disjoint offsets on another line: FS.
+	lineB := mem.HeapBase + 4096
+	for i := 0; i < 50; i++ {
+		recs = append(recs, driver.Record{PC: storePC, Addr: lineB, Cycles: uint64(i)})
+		recs = append(recs, driver.Record{PC: storePC, Addr: lineB + 32, Cycles: uint64(i)})
+	}
+	pipe.Feed(recs)
+	rep := pipe.ReportAt(0.001, 0)
+	if len(rep.Lines) == 0 {
+		t.Fatal("no lines reported")
+	}
+	var sawTS, sawFS bool
+	for _, l := range rep.Lines {
+		if l.TS > 0 && l.Kind == TrueSharing {
+			sawTS = true
+		}
+		if l.FS > 0 {
+			sawFS = true
+		}
+	}
+	if !sawTS || !sawFS {
+		t.Errorf("classification missed: %+v", rep.Lines)
+	}
+}

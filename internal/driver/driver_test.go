@@ -1,0 +1,54 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/pebs"
+)
+
+func TestOverflowStripsAndQueues(t *testing.T) {
+	d := New(DefaultConfig())
+	recs := []pebs.Record{
+		{Core: 1, PC: 0x400000, Addr: 0x600040, Cycles: 99, Load: true},
+		{Core: 1, PC: 0x400004, Addr: 0x600080, Cycles: 120, Load: false},
+	}
+	cost := d.Overflow(1, recs)
+	want := DefaultConfig().InterruptCycles + 2*DefaultConfig().PerRecordCycles
+	if cost != want {
+		t.Errorf("cost = %d, want %d", cost, want)
+	}
+	got := d.Poll()
+	if len(got) != 2 {
+		t.Fatalf("polled %d records", len(got))
+	}
+	if got[0].PC != 0x400000 || got[0].Addr != 0x600040 || got[0].Core != 1 || got[0].Cycles != 99 {
+		t.Errorf("stripped record = %+v", got[0])
+	}
+	// Poll drains.
+	if len(d.Poll()) != 0 {
+		t.Error("second poll returned stale records")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := New(Config{InterruptCycles: 100, PerRecordCycles: 10})
+	d.Overflow(0, make([]pebs.Record, 5))
+	d.Overflow(2, make([]pebs.Record, 3))
+	st := d.Stats()
+	if st.Interrupts != 2 || st.Records != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CyclesCharged != 2*100+8*10 {
+		t.Errorf("cycles charged = %d", st.CyclesCharged)
+	}
+}
+
+func TestPollOrderPreserved(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Overflow(0, []pebs.Record{{Cycles: 1}, {Cycles: 2}})
+	d.Overflow(1, []pebs.Record{{Cycles: 3}})
+	got := d.Poll()
+	if len(got) != 3 || got[0].Cycles != 1 || got[2].Cycles != 3 {
+		t.Errorf("order broken: %+v", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) from the simulated system: Figure 3 (HITM record
+// characterization), Tables 1–2 (detection accuracy and contention types),
+// Figure 9 (rate-threshold sweep), Figures 10–14 (performance, repair and
+// baseline comparisons). Each runner returns structured results plus a
+// plain-text rendering.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/sheriff"
+	"repro/internal/baseline/vtune"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+	"repro/laser"
+)
+
+// Config scales the experiments. Accuracy experiments need long simulated
+// windows (band-rate lines produce events every ~1.5M cycles); performance
+// experiments need several runs of moderate length.
+type Config struct {
+	// AccuracyScale multiplies workload iteration counts for Table 1/2
+	// and Figure 9.
+	AccuracyScale float64
+	// PerfScale does the same for Figures 10–14.
+	PerfScale float64
+	// Runs per data point for performance figures; the paper uses 10
+	// with min/max dropped.
+	Runs int
+}
+
+// DefaultConfig is the full-fidelity setup used by the benchmarks.
+func DefaultConfig() Config {
+	return Config{AccuracyScale: 20, PerfScale: 1, Runs: 3}
+}
+
+// QuickConfig is a reduced setup for tests.
+func QuickConfig() Config {
+	return Config{AccuracyScale: 3, PerfScale: 0.3, Runs: 1}
+}
+
+// runLaser executes one workload under the full LASER stack.
+func runLaser(name string, scale float64, repairOn bool, sav int, seed int64) (*laser.Result, error) {
+	cfg := laser.DefaultConfig()
+	cfg.EnableRepair = repairOn
+	if sav > 0 {
+		cfg.PEBS.SAV = sav
+	}
+	cfg.PEBS.Seed = seed
+	return laser.RunByName(name, workload.Options{Scale: scale}, cfg)
+}
+
+// runNative executes one workload without monitoring and returns cycles.
+func runNative(name string, scale float64, variant workload.Variant) (*machine.Stats, error) {
+	w, ok := workload.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	img := w.Build(workload.Options{Scale: scale, Variant: variant})
+	return laser.RunNative(img, 4)
+}
+
+// vtuneOutcome bundles a VTune profiling run.
+type vtuneOutcome struct {
+	lines   []vtune.ReportLine
+	stats   *machine.Stats
+	seconds float64
+}
+
+// runVTune executes one workload under the VTune model.
+func runVTune(name string, scale float64, seed int64) (*vtuneOutcome, error) {
+	w, ok := workload.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	img := w.Build(workload.Options{Scale: scale, HeapBias: laser.AttachBias})
+	vcfg := vtune.DefaultConfig()
+	vcfg.Seed = seed
+	prof := vtune.New(vcfg, 4, img.Prog, img.VMMap())
+	ei, el := prof.MachineConfig()
+	m := machine.New(img.Prog, machine.Config{
+		Cores: 4, Probe: prof, ExtraInstrCycles: ei, ExtraLoadCycles: el,
+	}, img.Specs)
+	img.Init(m)
+	st, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &vtuneOutcome{lines: prof.Report(st.Seconds()), stats: st, seconds: st.Seconds()}, nil
+}
+
+// sheriffOutcome bundles a Sheriff run (either mode).
+type sheriffOutcome struct {
+	status   sheriff.Status
+	findings []sheriff.Finding
+	stats    *machine.Stats
+}
+
+// runSheriff executes one workload under the Sheriff execution model.
+// Gated workloads return their status without running, unless force is
+// set (the Figure 14 simlarge runs).
+func runSheriff(name string, scale float64, mode sheriff.Mode, force bool) (*sheriffOutcome, error) {
+	w, ok := workload.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	if w.Sheriff != sheriff.OK && !force {
+		return &sheriffOutcome{status: w.Sheriff}, nil
+	}
+	img := w.Build(workload.Options{Scale: scale})
+	det := sheriff.NewDetector(mode, sheriff.DefaultConfig(), img.ResolveLine)
+	m := machine.New(img.Prog, machine.Config{
+		Cores: 4, PrivateMemory: true, OnCommit: det.OnCommit,
+		MaxCycles: 1 << 38,
+	}, img.Specs)
+	img.Init(m)
+	st, err := m.Run()
+	if err != nil {
+		// Runtime error under the Sheriff model: the Table 1 "x".
+		return &sheriffOutcome{status: sheriff.Crash}, nil
+	}
+	return &sheriffOutcome{status: sheriff.OK, findings: det.Findings(), stats: st}, nil
+}
+
+// normalizedRuntime runs a configuration Runs times (varying the sampling
+// seed) and returns the trimmed-mean runtime normalized to the native
+// trimmed mean.
+func normalizedRuntime(cfg Config, name string, run func(seed int64) (uint64, error)) (float64, error) {
+	native, err := repeated(cfg, func(int64) (uint64, error) {
+		st, err := runNative(name, cfg.PerfScale, workload.Native)
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	tool, err := repeated(cfg, run)
+	if err != nil {
+		return 0, err
+	}
+	if native == 0 {
+		return 0, fmt.Errorf("experiments: %s native ran in zero cycles", name)
+	}
+	return tool / native, nil
+}
+
+func repeated(cfg Config, run func(seed int64) (uint64, error)) (float64, error) {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	xs := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		c, err := run(int64(i + 1))
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, float64(c))
+	}
+	return metrics.TrimmedMean(xs), nil
+}
+
+// laserSAV is the paper's default sample-after value.
+const laserSAV = 19

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/sheriff"
+	"repro/internal/metrics"
+	"repro/internal/texttab"
+	"repro/internal/workload"
+)
+
+// Fig10Row is one benchmark's normalized runtimes under LASER and VTune.
+type Fig10Row struct {
+	Workload string
+	Laser    float64
+	VTune    float64
+}
+
+// RunFigure10 measures the monitoring overhead of LASER (SAV 19, repair
+// on) and VTune against native execution for all 35 workloads.
+func RunFigure10(cfg Config) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, name := range workloadNames() {
+		l, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
+			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Cycles, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s laser: %w", name, err)
+		}
+		v, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
+			out, err := runVTune(name, cfg.PerfScale, seed)
+			if err != nil {
+				return 0, err
+			}
+			return out.stats.Cycles, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s vtune: %w", name, err)
+		}
+		rows = append(rows, Fig10Row{Workload: name, Laser: l, VTune: v})
+	}
+	return rows, nil
+}
+
+// Geomeans returns the Figure 10 suite geomeans.
+func Geomeans(rows []Fig10Row) (laser, vtune float64) {
+	var ls, vs []float64
+	for _, r := range rows {
+		ls = append(ls, r.Laser)
+		vs = append(vs, r.VTune)
+	}
+	return metrics.Geomean(ls), metrics.Geomean(vs)
+}
+
+// RenderFigure10 formats the overhead comparison.
+func RenderFigure10(rows []Fig10Row) string {
+	t := texttab.New("Figure 10: normalized runtime (lower is better)",
+		"benchmark", "LASER", "VTune")
+	for _, r := range rows {
+		t.Row(r.Workload, r.Laser, r.VTune)
+	}
+	lg, vg := Geomeans(rows)
+	t.Row("geomean", lg, vg)
+	return t.Render()
+}
+
+// Fig11Row is one Figure 11 speedup bar.
+type Fig11Row struct {
+	Workload string
+	Mode     string // "automatic" (LASERREPAIR) or "manual" (source fix)
+	Speedup  float64
+}
+
+// RunFigure11 measures the automatic (online repair) and manual (source
+// fix) speedups of §7.2/Figure 11.
+func RunFigure11(cfg Config) ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, name := range []string{"histogram'", "linear_regression"} {
+		norm, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
+			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+			if err != nil {
+				return 0, err
+			}
+			if !res.RepairApplied {
+				return 0, fmt.Errorf("repair did not trigger (err=%v)", res.RepairErr)
+			}
+			return res.Stats.Cycles, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 auto %s: %w", name, err)
+		}
+		rows = append(rows, Fig11Row{Workload: name, Mode: "automatic", Speedup: 1 / norm})
+	}
+	for _, name := range []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"} {
+		norm, err := normalizedRuntime(cfg, name, func(int64) (uint64, error) {
+			st, err := runNative(name, cfg.PerfScale, workload.Fixed)
+			if err != nil {
+				return 0, err
+			}
+			return st.Cycles, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 manual %s: %w", name, err)
+		}
+		rows = append(rows, Fig11Row{Workload: name, Mode: "manual", Speedup: 1 / norm})
+	}
+	return rows, nil
+}
+
+// RenderFigure11 formats the speedups.
+func RenderFigure11(rows []Fig11Row) string {
+	t := texttab.New("Figure 11: speedups from LaserRepair (automatic) and source fixes (manual)",
+		"benchmark", "mode", "speedup")
+	for _, r := range rows {
+		t.Row(r.Workload, r.Mode, fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	return t.Render()
+}
+
+// Fig12Row is one benchmark's monitoring-component breakdown.
+type Fig12Row struct {
+	Workload    string
+	Overhead    float64 // normalized runtime under LASER
+	DriverPct   float64 // driver cycles / application CPU time
+	DetectorPct float64
+}
+
+// RunFigure12 reports the driver/detector CPU shares for benchmarks whose
+// LASER overhead is at least 10% — "very little time is spent inside the
+// LASER system" (§7.2.1).
+func RunFigure12(cfg Config) ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, name := range workloadNames() {
+		res, err := runLaser(name, cfg.PerfScale, false, laserSAV, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", name, err)
+		}
+		nat, err := runNative(name, cfg.PerfScale, workload.Native)
+		if err != nil {
+			return nil, err
+		}
+		overhead := float64(res.Stats.Cycles) / float64(nat.Cycles)
+		if overhead < 1.10 {
+			continue
+		}
+		var appCycles uint64
+		for _, c := range res.Stats.CoreCycles {
+			appCycles += c
+		}
+		if appCycles == 0 {
+			continue
+		}
+		rows = append(rows, Fig12Row{
+			Workload:    name,
+			Overhead:    overhead,
+			DriverPct:   100 * float64(res.DriverStats.CyclesCharged) / float64(appCycles),
+			DetectorPct: 100 * float64(res.DetectorCycle) / float64(appCycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure12 formats the component breakdown.
+func RenderFigure12(rows []Fig12Row) string {
+	t := texttab.New("Figure 12: time in detector and driver for benchmarks with ≥10% overhead",
+		"benchmark", "slowdown", "driver %", "detector %")
+	for _, r := range rows {
+		t.Row(r.Workload, fmt.Sprintf("%.2fx", r.Overhead),
+			fmt.Sprintf("%.2f", r.DriverPct), fmt.Sprintf("%.2f", r.DetectorPct))
+	}
+	return t.Render()
+}
+
+// Fig13Point is one SAV of the dedup sweep.
+type Fig13Point struct {
+	SAV        int
+	Normalized float64
+}
+
+// RunFigure13 sweeps the sample-after value on dedup (§7.2.1, Figure 13).
+func RunFigure13(cfg Config) ([]Fig13Point, error) {
+	var out []Fig13Point
+	for _, sav := range []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31} {
+		norm, err := normalizedRuntime(cfg, "dedup", func(seed int64) (uint64, error) {
+			res, err := runLaser("dedup", cfg.PerfScale, false, sav, seed)
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Cycles, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig13 sav=%d: %w", sav, err)
+		}
+		out = append(out, Fig13Point{SAV: sav, Normalized: norm})
+	}
+	return out, nil
+}
+
+// RenderFigure13 formats the sweep.
+func RenderFigure13(points []Fig13Point) string {
+	t := texttab.New("Figure 13: dedup normalized runtime vs sample-after value",
+		"SAV", "normalized runtime")
+	for _, p := range points {
+		t.Row(p.SAV, p.Normalized)
+	}
+	return t.Render()
+}
+
+// fig14Set lists the Figure 14 benchmarks; * marks simlarge-style inputs
+// for Sheriff.
+var fig14Set = []string{
+	"blackscholes", "ferret", "histogram", "histogram'", "kmeans",
+	"linear_regression", "lu_cb", "lu_ncb", "matrix_multiply", "pca",
+	"radix", "raytrace.splash2x", "reverse_index", "string_match",
+	"swaptions", "water_nsquared", "water_spatial",
+}
+
+// Fig14Row is one benchmark of the Sheriff comparison. Failed cells hold
+// zero with Failed* set (the paper's "x").
+type Fig14Row struct {
+	Workload      string
+	Laser         float64
+	ManualFix     float64 // 0 when no fix exists
+	SheriffDet    float64
+	SheriffProt   float64
+	SheriffFailed bool
+}
+
+// RunFigure14 compares LASER, the manually fixed builds, Sheriff-Detect
+// and Sheriff-Protect (§7.3).
+func RunFigure14(cfg Config) ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, name := range fig14Set {
+		w, _ := workload.Get(name)
+		row := Fig14Row{Workload: name}
+		var err error
+		row.Laser, err = normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
+			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Cycles, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s: %w", name, err)
+		}
+		if w.HasFix {
+			row.ManualFix, err = normalizedRuntime(cfg, name, func(int64) (uint64, error) {
+				st, err := runNative(name, cfg.PerfScale, workload.Fixed)
+				if err != nil {
+					return 0, err
+				}
+				return st.Cycles, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Sheriff: OK workloads run at full scale; SmallOK ones at the
+		// reduced simlarge-style scale; the rest fail.
+		force := w.SheriffSmallOK
+		scale := cfg.PerfScale
+		if force {
+			scale = cfg.PerfScale * 0.5
+		}
+		if w.Sheriff != sheriff.OK && !force {
+			row.SheriffFailed = true
+		} else {
+			nat, err := runNative(name, scale, workload.Native)
+			if err != nil {
+				return nil, err
+			}
+			det, err := runSheriff(name, scale, sheriff.Detect, force)
+			if err != nil {
+				return nil, err
+			}
+			prot, err := runSheriff(name, scale, sheriff.Protect, force)
+			if err != nil {
+				return nil, err
+			}
+			if det.status != sheriff.OK || prot.status != sheriff.OK {
+				row.SheriffFailed = true
+			} else {
+				row.SheriffDet = float64(det.stats.Cycles) / float64(nat.Cycles)
+				row.SheriffProt = float64(prot.stats.Cycles) / float64(nat.Cycles)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure14 formats the comparison.
+func RenderFigure14(rows []Fig14Row) string {
+	t := texttab.New("Figure 14: normalized runtime — LASER vs manual fix vs Sheriff",
+		"benchmark", "LASER", "manual fix", "Sheriff-Detect", "Sheriff-Protect")
+	cell := func(v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, r := range rows {
+		det, prot := cell(r.SheriffDet), cell(r.SheriffProt)
+		if r.SheriffFailed {
+			det, prot = "x", "x"
+		}
+		t.Row(r.Workload, cell(r.Laser), cell(r.ManualFix), det, prot)
+	}
+	return t.Render()
+}

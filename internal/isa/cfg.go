@@ -1,0 +1,243 @@
+package isa
+
+import "fmt"
+
+// Block is a basic block: a maximal straight-line instruction sequence
+// [Start, End) within one function.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// CFG is the control-flow graph of one function, the input to
+// LASERREPAIR's instrumentation analysis (§5.3, Figure 7).
+type CFG struct {
+	Fn      Func
+	Blocks  []Block
+	byInstr []int // instruction index - Fn.Start → block ID
+}
+
+// BuildCFG constructs the control-flow graph of fn within p. Branch and
+// jump targets that leave the function are treated as exits (they do not
+// occur in well-formed workloads; calls are straight-line instructions).
+func BuildCFG(p *Program, fn Func) *CFG {
+	n := fn.End - fn.Start
+	if n <= 0 {
+		return &CFG{Fn: fn}
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := fn.Start; i < fn.End; i++ {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case OpBranch, OpJump:
+			if in.Target >= fn.Start && in.Target < fn.End {
+				leader[in.Target-fn.Start] = true
+			}
+			if i+1 < fn.End {
+				leader[i+1-fn.Start] = true
+			}
+		case OpRet, OpHalt:
+			if i+1 < fn.End {
+				leader[i+1-fn.Start] = true
+			}
+		}
+	}
+	g := &CFG{Fn: fn, byInstr: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, Block{ID: len(g.Blocks), Start: fn.Start + i})
+		}
+		g.byInstr[i] = len(g.Blocks) - 1
+	}
+	for b := range g.Blocks {
+		if b+1 < len(g.Blocks) {
+			g.Blocks[b].End = g.Blocks[b+1].Start
+		} else {
+			g.Blocks[b].End = fn.End
+		}
+	}
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for b := range g.Blocks {
+		last := &p.Instrs[g.Blocks[b].End-1]
+		switch last.Op {
+		case OpBranch:
+			if last.Target >= fn.Start && last.Target < fn.End {
+				addEdge(b, g.byInstr[last.Target-fn.Start])
+			}
+			if g.Blocks[b].End < fn.End {
+				addEdge(b, g.byInstr[g.Blocks[b].End-fn.Start])
+			}
+		case OpJump:
+			if last.Target >= fn.Start && last.Target < fn.End {
+				addEdge(b, g.byInstr[last.Target-fn.Start])
+			}
+		case OpRet, OpHalt:
+			// exit; no successors
+		default:
+			if g.Blocks[b].End < fn.End {
+				addEdge(b, g.byInstr[g.Blocks[b].End-fn.Start])
+			}
+		}
+	}
+	return g
+}
+
+// BlockOf returns the ID of the block containing instruction index idx,
+// which must lie within the function.
+func (g *CFG) BlockOf(idx int) int {
+	if idx < g.Fn.Start || idx >= g.Fn.End {
+		panic(fmt.Sprintf("isa: instruction %d outside function %s [%d,%d)",
+			idx, g.Fn.Name, g.Fn.Start, g.Fn.End))
+	}
+	return g.byInstr[idx-g.Fn.Start]
+}
+
+// Reachable returns the set of block IDs reachable from any block in from,
+// including the starting blocks themselves. LASERREPAIR instruments "any
+// additional blocks reachable from a modified block and not dominated by a
+// flush" (§5.3).
+func (g *CFG) Reachable(from []int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), from...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, g.Blocks[b].Succs...)
+	}
+	return seen
+}
+
+// PostDominators returns, for each block, the set of blocks that
+// post-dominate it (every path from the block to function exit passes
+// through them). A virtual exit node joins all blocks without successors.
+// Flush placement requires flushes to post-dominate the modified blocks
+// (§5.3).
+func (g *CFG) PostDominators() []map[int]bool {
+	n := len(g.Blocks)
+	if n == 0 {
+		return nil
+	}
+	// full starts as the universe; exits post-dominate only themselves.
+	full := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		full[i] = true
+	}
+	pdom := make([]map[int]bool, n)
+	isExit := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if len(g.Blocks[i].Succs) == 0 {
+			isExit[i] = true
+			pdom[i] = map[int]bool{i: true}
+		} else {
+			pdom[i] = cloneSet(full)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if isExit[i] {
+				continue
+			}
+			var inter map[int]bool
+			for _, s := range g.Blocks[i].Succs {
+				if inter == nil {
+					inter = cloneSet(pdom[s])
+				} else {
+					for k := range inter {
+						if !pdom[s][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[int]bool)
+			}
+			inter[i] = true
+			if !sameSet(inter, pdom[i]) {
+				pdom[i] = inter
+				changed = true
+			}
+		}
+	}
+	return pdom
+}
+
+// Dominators returns, for each block, its dominator set (every path from
+// function entry passes through them). Used to decide which reachable
+// blocks are already "dominated by a flush" (§5.3).
+func (g *CFG) Dominators() []map[int]bool {
+	n := len(g.Blocks)
+	if n == 0 {
+		return nil
+	}
+	full := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		full[i] = true
+	}
+	dom := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			dom[i] = map[int]bool{0: true}
+		} else {
+			dom[i] = cloneSet(full)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < n; i++ {
+			var inter map[int]bool
+			for _, p := range g.Blocks[i].Preds {
+				if inter == nil {
+					inter = cloneSet(dom[p])
+				} else {
+					for k := range inter {
+						if !dom[p][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[int]bool)
+			}
+			inter[i] = true
+			if !sameSet(inter, dom[i]) {
+				dom[i] = inter
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,486 @@
+// Package machine is the simulated multicore that stands in for the
+// paper's 4-core Haswell: an event-driven interpreter for the synthetic
+// ISA with MESI coherence, a cycle cost model, per-core clocks, hardware
+// transactions (for SSB flushes), the per-thread software store buffer
+// runtime, and the Sheriff-style private-memory execution mode used by the
+// baseline. A Probe hook receives HITM events — that is where the PEBS
+// model attaches.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// HITMEvent describes one HITM coherence event, as seen by the PMU.
+type HITMEvent struct {
+	Core       int
+	Thread     int
+	InstrIndex int
+	PC         mem.Addr
+	Addr       mem.Addr
+	IsLoad     bool // load-triggered (Figure 1a) vs store-triggered (1c)
+	Size       uint8
+	Now        uint64 // the core's cycle clock at the event
+}
+
+// Probe observes PMU-visible events. Implementations return extra cycles
+// charged to the core — how PEBS assists and driver interrupts perturb the
+// application.
+type Probe interface {
+	OnHITM(ev HITMEvent) uint64
+	OnContextSwitch(core, fromThread, toThread int, now uint64) uint64
+}
+
+// ThreadSpec describes one thread at startup.
+type ThreadSpec struct {
+	Entry int // instruction index of the first instruction
+	Regs  map[isa.Reg]int64
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Cores   int
+	Quantum uint64 // scheduling quantum in cycles; 0 = DefaultQuantum
+	Probe   Probe  // optional
+
+	// ExtraInstrCycles and ExtraLoadCycles dilate every instruction or
+	// load; the VTune baseline uses them to model always-on profiling.
+	ExtraInstrCycles uint64
+	ExtraLoadCycles  uint64
+
+	// PrivateMemory selects the Sheriff execution model: plain accesses
+	// go to a per-thread overlay; atomics and fences are commit points.
+	PrivateMemory bool
+	// OnCommit is called at each private-memory commit with the lines
+	// (and byte masks) the thread wrote since its previous commit; it
+	// returns extra cycles (Sheriff-Detect's sampling work).
+	OnCommit func(tid int, writes []LineWrite, now uint64) uint64
+
+	// OnAliasMiss is called when an inserted alias check detects that a
+	// speculatively-SSB-exempt load aliases buffered stores (§5.3).
+	OnAliasMiss func(tid int, pc mem.Addr)
+
+	// MaxCycles aborts the run when any core clock exceeds it (0 = no
+	// practical limit). Runs that hit the cap return ErrTimeout.
+	MaxCycles uint64
+}
+
+// ErrTimeout reports that a run exceeded Config.MaxCycles.
+var ErrTimeout = errors.New("machine: cycle limit exceeded")
+
+// LineWrite describes one dirty cache line at a private-memory commit:
+// which line and which bytes of it the thread wrote.
+type LineWrite struct {
+	Line mem.Line
+	Mask uint64
+}
+
+// Stats aggregates one run.
+type Stats struct {
+	Cycles       uint64 // wall time: max core clock
+	CoreCycles   []uint64
+	Instructions uint64
+	MemAccesses  uint64
+
+	HITMLoads  uint64
+	HITMStores uint64
+	HITMByPC   map[mem.Addr]uint64 // ground truth, by true PC
+
+	Flushes      uint64
+	FlushAborts  uint64
+	HTMFallbacks uint64
+	SSBStores    uint64
+	SSBLoads     uint64
+	AliasMisses  uint64
+
+	ContextSwitches uint64
+	ProbeCycles     uint64 // cycles charged by the probe (PEBS/driver)
+	Commits         uint64 // private-memory commit points
+	CommitCycles    uint64
+}
+
+// HITMs returns the total HITM count.
+func (s *Stats) HITMs() uint64 { return s.HITMLoads + s.HITMStores }
+
+// Seconds converts the run's cycle count to simulated wall-clock seconds.
+func (s *Stats) Seconds() float64 { return float64(s.Cycles) / ClockHz }
+
+type txnState struct {
+	lines    []mem.Line
+	end      uint64
+	aborted  bool
+	attempts int
+}
+
+type thread struct {
+	id        int
+	regs      [isa.NumRegs]int64
+	pc        int
+	callStack []int
+	halted    bool
+
+	ssb *SSB // LASERREPAIR store buffer (lazily created)
+	txn *txnState
+
+	overlay *SSB // Sheriff private-memory overlay
+}
+
+// Machine executes one program to completion.
+type Machine struct {
+	prog *isa.Program
+	cfg  Config
+	data *memory
+	coh  *coherence.Model
+
+	threads []*thread
+	// runq[c] lists thread ids assigned to core c; cur[c] indexes the
+	// currently scheduled one.
+	runq       [][]int
+	cur        []int
+	quantumEnd []uint64
+	clock      []uint64
+
+	stats Stats
+}
+
+// New creates a machine running prog with the given threads. Thread i is
+// initially assigned to core i mod Cores; its stack pointer register is
+// set from the standard stack layout.
+func New(prog *isa.Program, cfg Config, specs []ThreadSpec) *Machine {
+	if cfg.Cores <= 0 {
+		panic("machine: Cores must be positive")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+	m := &Machine{
+		prog:       prog,
+		cfg:        cfg,
+		data:       newMemory(),
+		coh:        coherence.NewModel(cfg.Cores),
+		runq:       make([][]int, cfg.Cores),
+		cur:        make([]int, cfg.Cores),
+		quantumEnd: make([]uint64, cfg.Cores),
+		clock:      make([]uint64, cfg.Cores),
+	}
+	m.stats.HITMByPC = make(map[mem.Addr]uint64)
+	m.stats.CoreCycles = make([]uint64, cfg.Cores)
+	for i, s := range specs {
+		t := &thread{id: i, pc: s.Entry}
+		_, _, sp := mem.StackFor(i)
+		t.regs[isa.SP] = int64(sp)
+		for r, v := range s.Regs {
+			t.regs[r] = v
+		}
+		if cfg.PrivateMemory {
+			t.overlay = NewSSB()
+		}
+		m.threads = append(m.threads, t)
+		core := i % cfg.Cores
+		m.runq[core] = append(m.runq[core], i)
+	}
+	for c := range m.quantumEnd {
+		m.quantumEnd[c] = cfg.Quantum
+	}
+	return m
+}
+
+// WriteData initializes memory before the run without going through the
+// coherence model (loader behaviour).
+func (m *Machine) WriteData(a mem.Addr, size uint8, v uint64) { m.data.store(a, size, v) }
+
+// ReadData reads memory directly, for result verification.
+func (m *Machine) ReadData(a mem.Addr, size uint8) uint64 { return m.data.load(a, size) }
+
+// Reg returns a register of a thread (for tests and baselines).
+func (m *Machine) Reg(tid int, r isa.Reg) int64 { return m.threads[tid].regs[r] }
+
+// Program returns the currently executing program.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
+// SetProgram hot-swaps the executing code, as Pin does when LASERREPAIR
+// attaches (§6). remap maps old instruction indices to new ones; it must
+// be defined for every index a thread might be stopped at. Any active SSB
+// is flushed through the fallback path first.
+func (m *Machine) SetProgram(p *isa.Program, remap func(int) int) {
+	for _, t := range m.threads {
+		if t.ssb != nil && t.ssb.Active() {
+			m.applySSB(t, t.id%m.cfg.Cores)
+			t.ssb.Clear()
+		}
+		t.txn = nil
+		if !t.halted {
+			t.pc = remap(t.pc)
+		}
+		for i := range t.callStack {
+			t.callStack[i] = remap(t.callStack[i])
+		}
+	}
+	m.prog = p
+}
+
+// Stats returns the statistics collected so far.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Run executes until every thread halts, or the cycle cap is hit.
+func (m *Machine) Run() (*Stats, error) {
+	_, err := m.RunFor(^uint64(0))
+	return &m.stats, err
+}
+
+// RunFor advances the machine until the earliest core clock reaches
+// target or all threads halt; it returns done=true in the latter case.
+// The LASER harness interleaves RunFor slices with detector polling and
+// online repair (§6). Stats are refreshed on every return.
+func (m *Machine) RunFor(target uint64) (bool, error) {
+	live := 0
+	for _, t := range m.threads {
+		if !t.halted {
+			live++
+		}
+	}
+	for live > 0 {
+		c := m.pickCore()
+		if c < 0 {
+			break
+		}
+		if m.clock[c] >= target {
+			m.finishStats()
+			return false, nil
+		}
+		if m.clock[c] > m.cfg.MaxCycles {
+			m.finishStats()
+			return false, ErrTimeout
+		}
+		t := m.threads[m.runq[c][m.cur[c]]]
+		// Resolve a pending SSB-flush transaction whose window elapsed.
+		if t.txn != nil && m.clock[c] >= t.txn.end {
+			m.resolveTxn(t, c)
+			continue
+		}
+		if t.txn != nil {
+			// Busy inside the transaction window.
+			m.clock[c] = t.txn.end
+			continue
+		}
+		m.step(t, c)
+		if t.halted {
+			m.removeThread(c, t.id)
+			live--
+			continue
+		}
+		// Quantum-based round-robin when a core hosts several threads.
+		if len(m.runq[c]) > 1 && m.clock[c] >= m.quantumEnd[c] {
+			m.switchThread(c)
+		}
+	}
+	m.finishStats()
+	return true, nil
+}
+
+func (m *Machine) finishStats() {
+	copy(m.stats.CoreCycles, m.clock)
+	m.stats.Cycles = 0
+	for _, c := range m.clock {
+		if c > m.stats.Cycles {
+			m.stats.Cycles = c
+		}
+	}
+	m.stats.HITMLoads = m.coh.Counts[coherence.HITMLoad]
+	m.stats.HITMStores = m.coh.Counts[coherence.HITMStore]
+}
+
+// pickCore returns the core with the lowest clock that has a runnable
+// thread, or -1 if none remain.
+func (m *Machine) pickCore() int {
+	best, bestClock := -1, ^uint64(0)
+	for c := 0; c < m.cfg.Cores; c++ {
+		if len(m.runq[c]) == 0 {
+			continue
+		}
+		if m.clock[c] < bestClock {
+			best, bestClock = c, m.clock[c]
+		}
+	}
+	return best
+}
+
+func (m *Machine) removeThread(c, tid int) {
+	q := m.runq[c]
+	for i, id := range q {
+		if id == tid {
+			m.runq[c] = append(q[:i], q[i+1:]...)
+			if m.cur[c] >= len(m.runq[c]) {
+				m.cur[c] = 0
+			}
+			return
+		}
+	}
+}
+
+func (m *Machine) switchThread(c int) {
+	from := m.runq[c][m.cur[c]]
+	m.cur[c] = (m.cur[c] + 1) % len(m.runq[c])
+	to := m.runq[c][m.cur[c]]
+	m.clock[c] += CostContextSwitch
+	m.stats.ContextSwitches++
+	if m.cfg.Probe != nil {
+		extra := m.cfg.Probe.OnContextSwitch(c, from, to, m.clock[c])
+		m.clock[c] += extra
+		m.stats.ProbeCycles += extra
+	}
+	m.quantumEnd[c] = m.clock[c] + m.cfg.Quantum
+}
+
+// step executes one instruction of t on core c.
+func (m *Machine) step(t *thread, c int) {
+	in := &m.prog.Instrs[t.pc]
+	m.stats.Instructions++
+	cost := m.cfg.ExtraInstrCycles
+	next := t.pc + 1
+
+	switch in.Op {
+	case isa.OpNop:
+		cost += CostNop
+	case isa.OpMovImm:
+		t.regs[in.Rd] = in.Imm
+		cost += CostALU
+	case isa.OpMov:
+		t.regs[in.Rd] = t.regs[in.Rs1]
+		cost += CostALU
+	case isa.OpALU:
+		b := t.regs[in.Rs2]
+		if in.UseImm {
+			b = in.Imm
+		}
+		t.regs[in.Rd] = aluOp(in.ALU, t.regs[in.Rs1], b)
+		cost += CostALU
+	case isa.OpLoad:
+		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+		v, cc := m.memLoad(t, c, in, addr)
+		t.regs[in.Rd] = int64(v)
+		cost += cc + m.cfg.ExtraLoadCycles
+	case isa.OpStore:
+		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+		v := uint64(t.regs[in.Rs2])
+		if in.UseImm {
+			addr = mem.Addr(t.regs[in.Rs1])
+			v = uint64(in.Imm)
+		}
+		cost += m.memStore(t, c, in, addr, v)
+	case isa.OpBranch:
+		b := t.regs[in.Rs2]
+		if in.UseImm {
+			b = in.Imm
+		}
+		if condHolds(in.Cond, t.regs[in.Rs1], b) {
+			next = in.Target
+		}
+		cost += CostBranch
+	case isa.OpJump:
+		next = in.Target
+		cost += CostBranch
+	case isa.OpCall:
+		t.callStack = append(t.callStack, t.pc+1)
+		next = in.Target
+		cost += CostCall
+	case isa.OpRet:
+		if len(t.callStack) == 0 {
+			panic(fmt.Sprintf("machine: ret with empty call stack at %d", t.pc))
+		}
+		next = t.callStack[len(t.callStack)-1]
+		t.callStack = t.callStack[:len(t.callStack)-1]
+		cost += CostRet
+	case isa.OpCAS:
+		cost += m.execCAS(t, c, in)
+	case isa.OpFetchAdd:
+		cost += m.execFetchAdd(t, c, in)
+	case isa.OpFence:
+		cost += CostFence
+		cost += m.fencePoint(t, c)
+	case isa.OpPause:
+		cost += CostPause
+	case isa.OpIO:
+		cost += uint64(in.Imm)
+	case isa.OpHalt:
+		cost += m.fencePoint(t, c) // make buffered state visible at exit
+		t.halted = true
+	case isa.OpSSBLoad:
+		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+		v, cc := m.ssbLoad(t, c, in, addr)
+		t.regs[in.Rd] = int64(v)
+		cost += cc + m.cfg.ExtraLoadCycles
+	case isa.OpSSBStore:
+		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+		v := uint64(t.regs[in.Rs2])
+		if in.UseImm {
+			addr = mem.Addr(t.regs[in.Rs1])
+			v = uint64(in.Imm)
+		}
+		cost += m.ssbStore(t, c, in, addr, v)
+	case isa.OpSSBFlush:
+		cost += m.startFlush(t, c)
+	case isa.OpAliasCheck:
+		cost += m.execAliasCheck(t, c, in)
+	default:
+		panic(fmt.Sprintf("machine: unknown opcode %v at %d", in.Op, t.pc))
+	}
+
+	if !t.halted {
+		t.pc = next
+	}
+	m.clock[c] += cost
+}
+
+func aluOp(k isa.ALUKind, a, b int64) int64 {
+	switch k {
+	case isa.Add:
+		return a + b
+	case isa.Sub:
+		return a - b
+	case isa.Mul:
+		return a * b
+	case isa.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.And:
+		return a & b
+	case isa.Or:
+		return a | b
+	case isa.Xor:
+		return a ^ b
+	case isa.Shl:
+		return a << (uint64(b) & 63)
+	case isa.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	}
+	panic("machine: unknown ALU op")
+}
+
+func condHolds(c isa.Cond, a, b int64) bool {
+	switch c {
+	case isa.Eq:
+		return a == b
+	case isa.Ne:
+		return a != b
+	case isa.Lt:
+		return a < b
+	case isa.Le:
+		return a <= b
+	case isa.Gt:
+		return a > b
+	case isa.Ge:
+		return a >= b
+	}
+	panic("machine: unknown condition")
+}

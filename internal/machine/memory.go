@@ -1,0 +1,75 @@
+package machine
+
+import "repro/internal/mem"
+
+const pageSize = 4096
+
+// memory is the sparse byte-addressed backing store of the simulated
+// machine. Pages are allocated on first touch; unmapped reads return
+// zeroes, matching anonymous mappings.
+type memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+func newMemory() *memory {
+	return &memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *memory) page(a mem.Addr, create bool) *[pageSize]byte {
+	key := uint64(a) / pageSize
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// load reads size bytes (1, 2, 4 or 8) little-endian, zero-extended.
+func (m *memory) load(a mem.Addr, size uint8) uint64 {
+	off := uint64(a) % pageSize
+	if off+uint64(size) <= pageSize {
+		p := m.page(a, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := uint8(0); i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	// Page-crossing access: byte at a time.
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(m.loadByte(a+mem.Addr(i))) << (8 * i)
+	}
+	return v
+}
+
+func (m *memory) loadByte(a mem.Addr) byte {
+	p := m.page(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[uint64(a)%pageSize]
+}
+
+// store writes size bytes little-endian.
+func (m *memory) store(a mem.Addr, size uint8, v uint64) {
+	off := uint64(a) % pageSize
+	if off+uint64(size) <= pageSize {
+		p := m.page(a, true)
+		for i := uint8(0); i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := uint8(0); i < size; i++ {
+		m.storeByte(a+mem.Addr(i), byte(v>>(8*i)))
+	}
+}
+
+func (m *memory) storeByte(a mem.Addr, b byte) {
+	m.page(a, true)[uint64(a)%pageSize] = b
+}

@@ -1,0 +1,67 @@
+package mem
+
+import "fmt"
+
+// ChunkHeader is the size of the allocator's per-chunk bookkeeping header.
+// Figure 2 of the paper shows exactly this header ("allocation metadata")
+// pushing the first lreg_args struct off cache-line alignment, which is the
+// root cause of linear_regression's false sharing.
+const ChunkHeader = 16
+
+// MinAlign is the allocator's default alignment, matching glibc malloc.
+const MinAlign = 16
+
+// Allocator is a bump allocator over the heap region. It deliberately
+// reproduces the two layout behaviours the paper depends on:
+//
+//   - every chunk is preceded by a ChunkHeader of metadata, so a 64-byte
+//     struct array is *not* line-aligned by default (Figure 2);
+//   - the base of the heap can be biased by a few bytes ("Bias"), modelling
+//     how forking the process under a tool shifts brk and coincidentally
+//     changes alignment — the lu_ncb effect of §7.2/§7.4.2.
+//
+// The zero value is not usable; call NewAllocator.
+type Allocator struct {
+	base Addr
+	next Addr
+	end  Addr
+}
+
+// NewAllocator creates an allocator over [HeapBase+bias, HeapBase+size).
+// bias is typically 0 (native run) or ChunkHeader (run under a tool that
+// perturbs the heap start).
+func NewAllocator(size, bias Addr) *Allocator {
+	if bias >= size {
+		panic("mem: allocator bias exceeds heap size")
+	}
+	base := HeapBase + bias
+	return &Allocator{base: base, next: base, end: HeapBase + size}
+}
+
+// Alloc returns the address of a fresh chunk of n bytes with MinAlign
+// alignment, preceded by a ChunkHeader. It panics if the heap is
+// exhausted: workloads size their heaps statically, so exhaustion is a
+// construction bug.
+func (a *Allocator) Alloc(n Addr) Addr {
+	p := AlignUp(a.next+ChunkHeader, MinAlign)
+	if p+n > a.end {
+		panic(fmt.Sprintf("mem: heap exhausted: want %d bytes at %#x (end %#x)", n, p, a.end))
+	}
+	a.next = p + n
+	return p
+}
+
+// AllocAligned returns a chunk of n bytes aligned to align (a power of
+// two ≥ MinAlign). This is "the fix": aligning an array to a cache line
+// boundary is how the paper repairs linear_regression and lu_ncb manually.
+func (a *Allocator) AllocAligned(n, align Addr) Addr {
+	p := AlignUp(a.next+ChunkHeader, align)
+	if p+n > a.end {
+		panic(fmt.Sprintf("mem: heap exhausted: want %d bytes at %#x (end %#x)", n, p, a.end))
+	}
+	a.next = p + n
+	return p
+}
+
+// Used reports the number of heap bytes consumed so far.
+func (a *Allocator) Used() Addr { return a.next - a.base }

@@ -1,0 +1,67 @@
+// Package metrics implements the paper's measurement protocol: runtimes
+// are "the average of 10 runs, after excluding the slowest and fastest
+// runs" (§7), and suite summaries use the geometric mean (Figure 10).
+package metrics
+
+import "math"
+
+// TrimmedMean drops the minimum and maximum (when there are more than
+// two samples) and averages the rest.
+func TrimmedMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) <= 2 {
+		return Mean(xs)
+	}
+	minI, maxI := 0, 0
+	for i, x := range xs {
+		if x < xs[minI] {
+			minI = i
+		}
+		if x > xs[maxI] {
+			maxI = i
+		}
+	}
+	var sum float64
+	n := 0
+	for i, x := range xs {
+		if i == minI || i == maxI {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 { // all samples equal: minI == maxI
+		return xs[0]
+	}
+	return sum / float64(n)
+}
+
+// Mean is the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Geomean is the geometric mean; non-positive inputs are ignored.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

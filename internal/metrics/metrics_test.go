@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrimmedMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{2, 4}, 3},
+		{[]float64{1, 2, 3, 4, 100}, 3},     // drops 1 and 100
+		{[]float64{7, 7, 7}, 7},             // equal samples
+		{[]float64{10, 1, 2, 3, 4, 0}, 2.5}, // drops 0 and 10
+	}
+	for _, c := range cases {
+		if got := TrimmedMean(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("TrimmedMean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Geomean(1,4) = %v", got)
+	}
+	if got := Geomean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Geomean(2,2,2) = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v", got)
+	}
+	// Non-positive values are ignored.
+	if got := Geomean([]float64{0, -1, 8}); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Geomean with junk = %v", got)
+	}
+}
+
+// Property: the trimmed mean lies within [min, max] of the input.
+func TestTrimmedMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return TrimmedMean(clean) == 0
+		}
+		lo, hi := clean[0], clean[0]
+		for _, x := range clean {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		m := TrimmedMean(clean)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

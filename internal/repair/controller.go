@@ -1,0 +1,85 @@
+package repair
+
+import (
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Controller drives online repair of one process: it attaches to the
+// machine (as Pin attaches to a running process, §6), applies the SSB
+// rewrite when LASERDETECT hands over contending PCs, and falls back to
+// conservative instrumentation if a speculative alias check fires at
+// runtime (§5.3).
+type Controller struct {
+	cfg  Config
+	m    *machine.Machine
+	orig *isa.Program
+
+	applied      bool
+	conservative bool
+	pcs          []mem.Addr
+	revToOrig    []int // instrumented index → original index
+}
+
+// NewController prepares a controller for the machine's current program.
+func NewController(cfg Config, m *machine.Machine) *Controller {
+	return &Controller{cfg: cfg, m: m, orig: m.Program()}
+}
+
+// Applied reports whether a rewrite is currently installed.
+func (c *Controller) Applied() bool { return c.applied }
+
+// Conservative reports whether the alias-analysis-disabled fallback is
+// installed.
+func (c *Controller) Conservative() bool { return c.conservative }
+
+// Apply analyzes the contending PCs and, if the plan is profitable,
+// hot-swaps the instrumented program into the machine. It is idempotent:
+// further calls after a successful application are no-ops.
+func (c *Controller) Apply(pcs []mem.Addr) error {
+	if c.applied {
+		return nil
+	}
+	plan, err := Analyze(c.cfg, c.orig, pcs)
+	if err != nil {
+		return err
+	}
+	inst, fwd, rev := Rewrite(c.orig, plan)
+	c.m.SetProgram(inst, func(i int) int { return fwd[i] })
+	c.applied = true
+	c.pcs = pcs
+	c.revToOrig = rev
+	return nil
+}
+
+// OnAliasMiss is wired into machine.Config.OnAliasMiss: a misspeculation
+// flushes locally (the machine already did) and the code is re-analyzed
+// with speculative alias analysis disabled.
+func (c *Controller) OnAliasMiss(tid int, pc mem.Addr) {
+	if !c.applied || c.conservative {
+		return
+	}
+	cfg := c.cfg
+	cfg.SpeculativeAliasing = false
+	plan, err := Analyze(cfg, c.orig, c.pcs)
+	if err != nil {
+		// The conservative plan can be unprofitable; undo the repair.
+		c.undo()
+		return
+	}
+	cons, fwd, rev := Rewrite(c.orig, plan)
+	prevRev := c.revToOrig
+	c.m.SetProgram(cons, func(i int) int { return fwd[prevRev[i]] })
+	c.revToOrig = rev
+	c.conservative = true
+}
+
+// undo restores the original program.
+func (c *Controller) undo() {
+	prevRev := c.revToOrig
+	c.m.SetProgram(c.orig, func(i int) int { return prevRev[i] })
+	c.applied = false
+	c.conservative = false
+	c.revToOrig = nil
+}

@@ -1,0 +1,37 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Row("short", 1)
+	tb.Row("a-much-longer-name", 2.5)
+	out := tb.Render()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "short") || !strings.Contains(lines[4], "2.50") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	// Columns align: "value" header and "1" cell start at the same offset.
+	h := strings.Index(lines[1], "value")
+	c := strings.Index(lines[3], "1")
+	if h != c {
+		t.Errorf("misaligned: header at %d, cell at %d\n%s", h, c, out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("", "a")
+	out := tb.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("empty title should not emit a blank line:\n%q", out)
+	}
+}

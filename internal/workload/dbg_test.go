@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestCalibrationReport prints, with -v, each workload's runtime and the
+// per-line HITM rates that the detection experiments depend on. It
+// asserts nothing; it exists so rate calibration is reproducible.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("LASER_CALIBRATE") == "" {
+		t.Skip("set LASER_CALIBRATE=1 to run the calibration report")
+	}
+	for _, w := range All() {
+		img := w.Build(Options{Scale: 3})
+		m := machine.New(img.Prog, machine.Config{Cores: 4, MaxCycles: 1 << 33}, img.Specs)
+		img.Init(m)
+		st, err := m.Run()
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		agg := map[string]uint64{}
+		for pc, n := range st.HITMByPC {
+			idx, ok := img.Prog.IndexOf(pc)
+			if !ok {
+				continue
+			}
+			agg[img.Prog.LocOf(idx).String()] += n
+		}
+		type lc struct {
+			loc string
+			n   uint64
+		}
+		var out []lc
+		for l, n := range agg {
+			out = append(out, lc{l, n})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].n > out[j].n })
+		t.Logf("%-20s %8.2fms %9d instr %8d HITMs", w.Name,
+			st.Seconds()*1e3, st.Instructions, st.HITMs())
+		for i, e := range out {
+			if i > 7 {
+				break
+			}
+			rate := float64(e.n) / st.Seconds()
+			t.Logf("    %-28s %12.0f /s", e.loc, rate)
+		}
+		_ = fmt.Sprint()
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import "repro/internal/isa"
+
+// Register conventions shared by the synthetic programs:
+//
+//	r0..r9    workload data pointers and loop state (per-thread via specs)
+//	r10       first library argument (lock/barrier address)
+//	r11       second library argument (barrier thread count)
+//	r20..r27  application scratch
+//	r28..r30  library scratch
+const (
+	regArg0 isa.Reg = 10
+	regArg1 isa.Reg = 11
+)
+
+// Lib holds the entry labels of the synthetic pthread library. The
+// library lives in the shared-library text unit, so HITM records from lock
+// internals carry library PCs — exactly how contention inside libpthread
+// shows up in real profiles.
+type Lib struct {
+	MutexLock   string // naive compare-and-swap spin lock (§2's bad lock)
+	MutexUnlock string
+	TTASLock    string // test-and-test-and-set lock (§2's better lock)
+	TTASUnlock  string
+	BarrierWait string // sense-reversing counter barrier
+}
+
+// EmitLib appends the library functions to b (in the library unit) and
+// returns their labels. Call once per program, after the app code.
+func EmitLib(b *isa.Builder) Lib {
+	lib := Lib{
+		MutexLock:   "pthread_mutex_lock",
+		MutexUnlock: "pthread_mutex_unlock",
+		TTASLock:    "pthread_ttas_lock",
+		TTASUnlock:  "pthread_ttas_unlock",
+		BarrierWait: "pthread_barrier_wait",
+	}
+	b.InUnit(isa.UnitLib)
+
+	// The naive spin lock: a bare CAS loop. Under contention every
+	// attempt is a store-type HITM on the lock word (§2: such locks
+	// "can perform poorly when lots of threads attempt to acquire").
+	b.At("libpthread.c", 100)
+	b.Func(lib.MutexLock)
+	b.Label("pml_retry")
+	b.Li(28, 0)
+	b.Li(29, 1)
+	b.CAS(30, regArg0, 0, 28, 29, 8)
+	b.BranchI(isa.Eq, 30, 1, "pml_done")
+	b.Pause()
+	b.Jump("pml_retry")
+	b.Label("pml_done").Ret()
+
+	b.At("libpthread.c", 110)
+	b.Func(lib.MutexUnlock)
+	b.Li(28, 1)
+	b.Li(29, 0)
+	b.CAS(30, regArg0, 0, 28, 29, 8)
+	b.Ret()
+
+	// The test-and-test-and-set lock: reads the lock word while waiting,
+	// so the lock state is read-shared across waiters.
+	b.At("libpthread.c", 140)
+	b.Func(lib.TTASLock)
+	b.Label("ttas_top")
+	b.Load(30, regArg0, 0, 8)
+	b.BranchI(isa.Ne, 30, 0, "ttas_wait")
+	b.Li(28, 0)
+	b.Li(29, 1)
+	b.CAS(30, regArg0, 0, 28, 29, 8)
+	b.BranchI(isa.Eq, 30, 1, "ttas_done")
+	b.Label("ttas_wait")
+	b.Pause()
+	b.Jump("ttas_top")
+	b.Label("ttas_done").Ret()
+
+	b.At("libpthread.c", 150)
+	b.Func(lib.TTASUnlock)
+	b.Li(28, 1)
+	b.Li(29, 0)
+	b.CAS(30, regArg0, 0, 28, 29, 8)
+	b.Ret()
+
+	// Barrier: counter at [r10+0], generation at [r10+8], thread count
+	// in r11. Atomics act as Sheriff commit points, so barrier-based
+	// programs merge their private pages here under the baseline.
+	b.At("libpthread.c", 200)
+	b.Func(lib.BarrierWait)
+	b.Load(28, regArg0, 8, 8) // generation
+	b.Li(29, 1)
+	b.FetchAdd(30, regArg0, 0, 29, 8)
+	b.AddI(30, 30, 1)
+	b.Branch(isa.Eq, 30, regArg1, "bar_last")
+	b.Label("bar_spin")
+	b.Pause()
+	b.Load(30, regArg0, 8, 8)
+	b.Branch(isa.Eq, 30, 28, "bar_spin")
+	b.Ret()
+	b.Label("bar_last")
+	b.Li(29, 0)
+	b.CAS(30, regArg0, 0, regArg1, 29, 8) // reset counter
+	b.Li(29, 1)
+	b.FetchAdd(30, regArg0, 8, 29, 8) // publish new generation
+	b.Ret()
+
+	b.InUnit(isa.UnitApp)
+	return lib
+}

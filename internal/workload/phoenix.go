@@ -1,0 +1,503 @@
+package workload
+
+import (
+	"repro/internal/baseline/sheriff"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// The Phoenix 1.0 suite (§7): map-reduce kernels. histogram appears twice
+// — with its standard input and with the alternative input (histogram')
+// that accentuates its false sharing (§7.4.1).
+
+func init() {
+	register(&Workload{
+		Name: "histogram", Suite: "phoenix", Sheriff: sheriff.OK,
+		Build: func(o Options) *Image { return buildHistogram(o, false) },
+	})
+	register(&Workload{
+		Name: "histogram'", Suite: "phoenix", Sheriff: sheriff.OK,
+		HasFix:  true,
+		FixNote: "pad per-thread counters to separate cache lines",
+		Build:   func(o Options) *Image { return buildHistogram(o, true) },
+	})
+	register(&Workload{
+		Name: "linear_regression", Suite: "phoenix", Sheriff: sheriff.OK,
+		HasFix:  true,
+		FixNote: "align the lreg_args array to a cache line boundary (17x)",
+		Build:   buildLinearRegression,
+	})
+	register(&Workload{
+		Name: "kmeans", Suite: "phoenix", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		HasFix:      true,
+		FixNote:     "allocate sum objects on worker stacks (5%)",
+		Build:       buildKmeans,
+	})
+	register(&Workload{
+		Name: "matrix_multiply", Suite: "phoenix", Sheriff: sheriff.OK,
+		Build: buildMatrixMultiply,
+	})
+	register(&Workload{
+		Name: "pca", Suite: "phoenix", Sheriff: sheriff.OK,
+		Build: buildPCA,
+	})
+	register(&Workload{
+		Name: "reverse_index", Suite: "phoenix", Sheriff: sheriff.OK,
+		HasFix:  true,
+		FixNote: "pad use_len[] elements (4%)",
+		Build:   buildReverseIndex,
+	})
+	register(&Workload{
+		Name: "string_match", Suite: "phoenix", Sheriff: sheriff.OK,
+		Build: buildStringMatch,
+	})
+	register(&Workload{
+		Name: "word_count", Suite: "phoenix", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       buildWordCount,
+	})
+}
+
+// specs4 builds four thread specs sharing entry 0 with per-thread regs.
+func specs4(regs func(tid int) map[isa.Reg]int64) []machine.ThreadSpec {
+	out := make([]machine.ThreadSpec, 4)
+	for t := range out {
+		out[t] = machine.ThreadSpec{Regs: regs(t)}
+	}
+	return out
+}
+
+// buildHistogram models the pixel-counting kernel. With the standard
+// input the per-thread counters land on distinct lines; the alternative
+// input (fs=true) packs them into one line — the §7.4.1 false sharing.
+func buildHistogram(o Options, fs bool) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	stride := mem.Addr(mem.LineSize)
+	if fs && o.Variant == Native {
+		stride = 8 // packed: four counters in one line
+	}
+	ctrs := alloc.Alloc(4 * stride)
+	img.addSite(ctrs, 4*stride, isa.SourceLoc{File: "histogram.c", Line: 45})
+	pixels := alloc.AllocAligned(4*4096, 64)
+	img.addSite(pixels, 4*4096, isa.SourceLoc{File: "histogram.c", Line: 31})
+
+	b := isa.NewBuilder().At("histogram.c", 58)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(60_000), func() {
+		// Fetch the pixel (thread-private image slice).
+		b.Line(60)
+		b.AluI(isa.And, regTmp, regCtr, 4095)
+		b.Add(regT2, 0, regTmp)
+		b.Load(regVal, regT2, 0, 1)
+		b.Line(61)
+		b.AluI(isa.And, regVal, regVal, 0xFF)
+		b.AluI(isa.Shr, regVal, regVal, 6)
+		// Bump this thread's counter (the contended line when packed).
+		b.Line(63)
+		emitSharedRMW(b, 1, 0)
+	})
+	b.Line(70).Halt()
+	emitColdCode(b, "histogram.c", 900)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(pixels + mem.Addr(t)*4096),
+			1: int64(ctrs + mem.Addr(t)*stride),
+		}
+	})
+	return img
+}
+
+// buildLinearRegression reproduces Figure 2: an array of 64-byte
+// lreg_args structs that the allocator's 16-byte chunk header knocks off
+// line alignment, written (register-cached, so stores only: the -O3
+// write-write pattern) by every thread on every point.
+func buildLinearRegression(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	var args mem.Addr
+	if o.Variant == Fixed {
+		args = alloc.AllocAligned(4*64, mem.LineSize)
+	} else {
+		args = alloc.Alloc(4 * 64)
+	}
+	img.addSite(args, 4*64, isa.SourceLoc{File: "lreg.c", Line: 88})
+	points := alloc.AllocAligned(4*8192, 64)
+	img.addSite(points, 4*8192, isa.SourceLoc{File: "lreg.c", Line: 80})
+
+	b := isa.NewBuilder().At("lreg.c", 100)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(40_000), func() {
+		// x, y from the thread-private points slice.
+		b.Line(102)
+		b.AluI(isa.And, regTmp, regCtr, 511)
+		b.AluI(isa.Shl, regTmp, regTmp, 4)
+		b.Add(regT2, 10, regTmp)
+		b.Load(2, regT2, 0, 8) // x
+		b.Load(3, regT2, 8, 8) // y
+		// SX += x; SY += y; SXX += x*x; SYY += y*y; SXY += x*y — the
+		// sums live in registers (r4..r8); only the stores remain.
+		b.Line(104)
+		b.Add(4, 4, 2)
+		b.Add(5, 5, 3)
+		b.Alu(isa.Mul, regTmp, 2, 2)
+		b.Add(6, 6, regTmp)
+		b.Line(105)
+		b.Alu(isa.Mul, regTmp, 3, 3)
+		b.Add(7, 7, regTmp)
+		b.Alu(isa.Mul, regTmp, 2, 3)
+		b.Add(8, 8, regTmp)
+		b.Line(107)
+		emitStoreOnly(b, 0, 24, 4) // SX
+		emitStoreOnly(b, 0, 32, 5) // SY
+		b.Line(108)
+		emitStoreOnly(b, 0, 40, 6) // SXX
+		emitStoreOnly(b, 0, 48, 7) // SYY
+		b.Line(109)
+		emitStoreOnly(b, 0, 56, 8) // SXY
+	})
+	b.Line(115).Halt()
+	emitColdCode(b, "lreg.c", 2400)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0:  int64(args + mem.Addr(t)*64),
+			10: int64(points + mem.Addr(t)*8192),
+		}
+	})
+	for t := 0; t < 4; t++ {
+		img.setData(points+mem.Addr(t)*8192, 8, uint64(t+3))
+		img.setData(points+mem.Addr(t)*8192+8, 8, uint64(t+5))
+	}
+	return img
+}
+
+// buildKmeans models §7.4.2: worker threads hammer shared sum objects
+// (read-write true sharing) and redundantly set the global modified flag;
+// ten more loop lines update shared statistics just often enough to cross
+// LASER's rate threshold — the migratory moderate contention behind
+// kmeans's ten Table 1 false positives.
+func buildKmeans(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	sums := alloc.AllocAligned(2*64, 64)
+	img.addSite(sums, 2*64, isa.SourceLoc{File: "kmeans.c", Line: 30})
+	stats := alloc.AllocAligned(10*64, 64)
+	img.addSite(stats, 10*64, isa.SourceLoc{File: "kmeans.c", Line: 31})
+	flag := alloc.AllocAligned(64, 64)
+	img.addSite(flag, 64, isa.SourceLoc{File: "kmeans.c", Line: 32})
+	pts := alloc.AllocAligned(4*4096, 64)
+
+	// The Fixed variant allocates the sums on each worker's stack (§7.4.2),
+	// so the contended base register points into the thread stack instead.
+	fixed := o.Variant == Fixed
+
+	b := isa.NewBuilder().At("kmeans.c", 200)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(50_000), func() {
+		b.Line(202)
+		b.AluI(isa.And, regTmp, regCtr, 255)
+		b.AluI(isa.Shl, regTmp, regTmp, 4)
+		b.Add(regT2, 10, regTmp)
+		b.Load(26, regT2, 0, 8)
+		b.Load(27, regT2, 8, 8)
+		b.Line(204)
+		b.Alu(isa.Mul, regTmp, 26, 26)
+		b.Alu(isa.Mul, regT3, 27, 27)
+		b.Add(regTmp, regTmp, regT3)
+		b.AluI(isa.Shr, regTmp, regTmp, 4)
+		// The sum objects: every point update lands on shared lines.
+		b.Line(210)
+		emitSharedRMW(b, 2, 8) // sum->x
+		skip211 := uniqueLabel("km211")
+		b.Line(211)
+		b.AluI(isa.And, regAux, regCtr, 3)
+		b.BranchI(isa.Ne, regAux, 0, skip211)
+		emitSharedRMW(b, 2, 72) // sum->count (second line)
+		b.Label(skip211)
+		// Ten statistics lines with rate-limited shared updates.
+		for i := 0; i < 10; i++ {
+			b.Line(220 + i)
+			emitAuxShared(b, 3, int64(i)*64, 16383)
+		}
+		// The redundant modified-flag store (true sharing, §2).
+		b.Line(240)
+		skip := uniqueLabel("flagskip")
+		b.AluI(isa.And, regAux, regCtr, 4095)
+		b.BranchI(isa.Ne, regAux, 0, skip)
+		b.Li(regT3, 1)
+		b.Store(4, 0, regT3, 8)
+		b.Label(skip)
+	})
+	b.Line(250).Halt()
+	emitColdCode(b, "kmeans.c", 800)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		sumBase := int64(sums)
+		if fixed {
+			_, _, sp := mem.StackFor(t)
+			sumBase = int64(sp) - 256 // per-thread stack allocation
+		}
+		return map[isa.Reg]int64{
+			2:  sumBase,
+			3:  int64(stats),
+			4:  int64(flag),
+			10: int64(pts + mem.Addr(t)*4096),
+		}
+	})
+	return img
+}
+
+// buildMatrixMultiply: threads compute disjoint output rows from
+// read-shared inputs — no contention.
+func buildMatrixMultiply(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	a := alloc.AllocAligned(8192, 64)
+	c := alloc.AllocAligned(4*4096, 64)
+
+	b := isa.NewBuilder().At("mm.c", 140)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(70_000), func() {
+		b.Line(142)
+		b.AluI(isa.And, regTmp, regCtr, 1023)
+		b.AluI(isa.Shl, regTmp, regTmp, 3)
+		b.Add(regT2, 0, regTmp)
+		b.Load(2, regT2, 0, 8)
+		b.Load(3, regT2, 8, 8)
+		b.Line(143)
+		b.Alu(isa.Mul, regVal, 2, 3)
+		b.Add(regT3, regT3, regVal)
+		b.Line(144)
+		b.Store(1, 0, regT3, 8)
+	})
+	b.Line(150).Halt()
+	emitColdCode(b, "mm.c", 600)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(a), // read-shared inputs
+			1: int64(c + mem.Addr(t)*4096),
+		}
+	})
+	return img
+}
+
+// buildPCA: covariance accumulation, private accumulators, no sharing.
+func buildPCA(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	matrix := alloc.AllocAligned(16384, 64)
+
+	b := isa.NewBuilder().At("pca.c", 90)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(60_000), func() {
+		b.Line(92)
+		b.AluI(isa.And, regTmp, regCtr, 2047)
+		b.AluI(isa.Shl, regTmp, regTmp, 3)
+		b.Add(regT2, 0, regTmp)
+		b.Load(2, regT2, 0, 8)
+		b.Line(93)
+		b.Alu(isa.Mul, regVal, 2, 2)
+		b.AluI(isa.Div, regVal, regVal, 7)
+		b.Add(regT3, regT3, regVal)
+		b.AluI(isa.Xor, regT3, regT3, 11)
+	})
+	b.Line(99).Halt()
+	emitColdCode(b, "pca.c", 600)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{0: int64(matrix)}
+	})
+	return img
+}
+
+// buildReverseIndex: the use_len[] false sharing of §7.4.1 — four 4-byte
+// counters in one line, updated after batches of link parsing; barriers
+// between phases give Sheriff-Detect its sampling windows. Sheriff
+// resolves the array only to its allocation inside the program's malloc
+// wrapper (util.c), which Table 1 scores as a miss plus a false positive.
+func buildReverseIndex(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	stride := mem.Addr(4)
+	if o.Variant == Fixed {
+		stride = mem.LineSize
+	}
+	useLen := alloc.Alloc(4 * stride)
+	img.addSite(useLen, 4*stride, isa.SourceLoc{File: "util.c", Line: 40})
+	aux := alloc.AllocAligned(3*64, 64)
+	img.addSite(aux, 3*64, isa.SourceLoc{File: "rev_index.c", Line: 60})
+	links := alloc.AllocAligned(4*4096, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("rev_index.c", 120)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("phase")
+		b.At("rev_index.c", 120)
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(48_000), func() {
+			// Parse a link: private loads plus integer work.
+			b.Line(125)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 2)
+			b.Add(regT2, 10, regTmp)
+			b.Load(regVal, regT2, 0, 4)
+			b.Line(126)
+			b.AluI(isa.Xor, regVal, regVal, 0x5A)
+			b.AluI(isa.Shl, regT3, regVal, 1)
+			b.AluI(isa.Add, regT3, regT3, 13)
+			b.AluI(isa.And, regT3, regT3, 255)
+			// Index chunk fetch pacing.
+			ioskip := uniqueLabel("uio")
+			b.Line(128)
+			b.AluI(isa.And, regAux, regCtr, 31)
+			b.BranchI(isa.Ne, regAux, 0, ioskip)
+			b.IO(3000)
+			b.Label(ioskip)
+			// Batch-flush into use_len[tid] (the bug, minor by design).
+			skip := uniqueLabel("uls")
+			b.Line(131)
+			b.AluI(isa.And, regAux, regCtr, 4095)
+			b.BranchI(isa.Ne, regAux, 0, skip)
+			b.Load(regT3, 0, 0, 4)
+			b.AddI(regT3, regT3, 1)
+			b.Store(0, 0, regT3, 4)
+			b.Label(skip)
+			// Three moderate shared statistics (Table 1's three FPs).
+			for i := 0; i < 3; i++ {
+				b.Line(140 + i)
+				emitAuxShared(b, 3, int64(i)*64, 32767)
+			}
+		})
+		b.Line(150)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 3, outer)
+		b.Line(152).Halt()
+		emitColdCode(b, "rev_index.c", 700)
+	})
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0:  int64(useLen + mem.Addr(t)*stride),
+			3:  int64(aux),
+			10: int64(links + mem.Addr(t)*4096),
+		}
+	})
+	return img
+}
+
+// buildStringMatch: a byte-scanning loop — the most load-dominated kernel
+// in the suite, and VTune's worst case (Figure 10's 7x).
+func buildStringMatch(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	keys := alloc.AllocAligned(4*4096, 64)
+
+	b := isa.NewBuilder().At("string_match.c", 66)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(150_000), func() {
+		b.Line(68)
+		b.AluI(isa.And, regTmp, regCtr, 4095)
+		b.Add(regT2, 0, regTmp)
+		b.Load(regVal, regT2, 0, 1)
+		b.Load(regT3, regT2, 1, 1)
+		b.Line(69)
+		b.Alu(isa.Xor, regVal, regVal, regT3)
+	})
+	b.Line(75).Halt()
+	emitColdCode(b, "string_match.c", 500)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{0: int64(keys + mem.Addr(t)*4096)}
+	})
+	return img
+}
+
+// buildWordCount: like reverse_index's counter pattern but hotter and not
+// performance-relevant (§7.4.3) — the detector reports it, the bug
+// database doesn't list it, and Table 1 scores it as word_count's one
+// false positive.
+func buildWordCount(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	useLen := alloc.Alloc(4 * 4)
+	img.addSite(useLen, 16, isa.SourceLoc{File: "word_count.c", Line: 52})
+	text := alloc.AllocAligned(4*4096, 64)
+
+	b := isa.NewBuilder().At("word_count.c", 70)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(50_000), func() {
+		b.Line(72)
+		b.AluI(isa.And, regTmp, regCtr, 4095)
+		b.Add(regT2, 10, regTmp)
+		b.Load(regVal, regT2, 0, 1)
+		b.Line(73)
+		b.AluI(isa.Mul, regVal, regVal, 31)
+		b.AluI(isa.And, regVal, regVal, 1023)
+		// Emit a reduced pair every 16 characters (buffered writes).
+		ioskip := uniqueLabel("wio")
+		b.Line(76)
+		b.AluI(isa.And, regAux, regCtr, 15)
+		b.BranchI(isa.Ne, regAux, 0, ioskip)
+		b.IO(4000)
+		b.Label(ioskip)
+		// Count a word boundary periodically.
+		skip := uniqueLabel("wcs")
+		b.Line(78)
+		b.AluI(isa.And, regAux, regCtr, 32767)
+		b.BranchI(isa.Ne, regAux, 0, skip)
+		b.Load(regT3, 0, 0, 4)
+		b.AddI(regT3, regT3, 1)
+		b.Store(0, 0, regT3, 4)
+		b.Label(skip)
+	})
+	b.Line(85).Halt()
+	emitColdCode(b, "word_count.c", 600)
+	prog := b.Build()
+
+	img.Prog = prog
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0:  int64(useLen + mem.Addr(t)*4),
+			10: int64(text + mem.Addr(t)*4096),
+		}
+	})
+	return img
+}
+
+// libLater emits app code that needs library labels: the body callback
+// receives the Lib whose functions are emitted afterwards.
+func libLater(b *isa.Builder, body func(Lib)) Lib {
+	// Labels resolve at Build time, so the library can be emitted after
+	// the app code that calls it; only the label names must be known.
+	lib := Lib{
+		MutexLock:   "pthread_mutex_lock",
+		MutexUnlock: "pthread_mutex_unlock",
+		TTASLock:    "pthread_ttas_lock",
+		TTASUnlock:  "pthread_ttas_unlock",
+		BarrierWait: "pthread_barrier_wait",
+	}
+	body(lib)
+	return EmitLib(b)
+}

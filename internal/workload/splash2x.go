@@ -1,0 +1,662 @@
+package workload
+
+import (
+	"repro/internal/baseline/sheriff"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The Splash2x suite (§7), native-input shapes. Workloads marked Crash
+// with SmallOK ran under Sheriff only with simlarge inputs (the * rows of
+// Figure 14).
+
+func init() {
+	register(&Workload{
+		Name: "barnes", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       buildBarnes,
+	})
+	register(&Workload{
+		Name: "fft", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       buildFFT,
+	})
+	register(&Workload{
+		Name: "fmm", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       buildFMM,
+	})
+	register(&Workload{
+		Name: "lu_cb", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote:    "crashes with the native input; Figure 14 uses simlarge",
+		SheriffSmallOK: true,
+		Build:          buildLUCB,
+	})
+	register(&Workload{
+		Name: "lu_ncb", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote:    "crashes with the native input; Figure 14 uses simlarge",
+		SheriffSmallOK: true,
+		HasFix:         true,
+		FixNote:        "align the a array to a cache line boundary (36%)",
+		Build:          buildLUNCB,
+	})
+	register(&Workload{
+		Name: "ocean_cp", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       func(o Options) *Image { return buildOcean(o, "ocean_cp.c") },
+	})
+	register(&Workload{
+		Name: "ocean_ncp", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       func(o Options) *Image { return buildOcean(o, "ocean_ncp.c") },
+	})
+	register(&Workload{
+		Name: "radiosity", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		Build:       buildRadiosity,
+	})
+	register(&Workload{
+		Name: "radix", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote:    "crashes with the native input; Figure 14 uses simlarge",
+		SheriffSmallOK: true,
+		Build:          buildRadix,
+	})
+	register(&Workload{
+		Name: "raytrace.splash2x", Suite: "splash2x", Sheriff: sheriff.OK,
+		Build: buildRaytraceSplash,
+	})
+	register(&Workload{
+		Name: "volrend", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote: "runtime error under Sheriff",
+		HasFix:      true,
+		FixNote:     "batch the Global->Queue increments (HITMs -10x, no speedup)",
+		Build:       buildVolrend,
+	})
+	register(&Workload{
+		Name: "water_nsquared", Suite: "splash2x", Sheriff: sheriff.OK,
+		Build: buildWaterNsquared,
+	})
+	register(&Workload{
+		Name: "water_spatial", Suite: "splash2x", Sheriff: sheriff.Crash,
+		SheriffNote:    "crashes with the native input; Figure 14 uses simlarge",
+		SheriffSmallOK: true,
+		Build:          buildWaterSpatial,
+	})
+}
+
+// buildBarnes: tree walks over a read-shared octree with an occasional
+// cell lock.
+func buildBarnes(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	tree := alloc.AllocAligned(32768, 64)
+	cellLock := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("barnes.c", 400)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		emitCountedLoop(b, o.iters(25_000), func() {
+			b.Line(402)
+			b.AluI(isa.Mul, regTmp, regCtr, 2654435761)
+			b.AluI(isa.And, regTmp, regTmp, 4095)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.Line(403)
+			b.AluI(isa.Mul, regVal, regVal, 3)
+			b.Add(regT3, regT3, regVal)
+			// Cell lock once per 1024 walked nodes.
+			skip := uniqueLabel("bls")
+			b.Line(410)
+			b.AluI(isa.And, regAux, regCtr, 1023)
+			b.BranchI(isa.Ne, regAux, 0, skip)
+			lockCall(b, lib, int64(cellLock))
+			unlockCall(b, lib, int64(cellLock))
+			b.Label(skip)
+		})
+		b.Line(420).Halt()
+		emitColdCode(b, "barnes.c", 800)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{0: int64(tree)}
+	})
+	return img
+}
+
+// buildFFT: transpose phases exchanging matrix tiles between threads
+// through barriers; the communication is fundamental and spread thin.
+func buildFFT(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	tiles := alloc.AllocAligned(4*4096, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("fft.c", 600)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("phase")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(8_000), func() {
+			// Butterfly over this thread's tile.
+			b.Line(602)
+			b.AluI(isa.And, regTmp, regCtr, 511)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.Line(603)
+			b.AluI(isa.Mul, regVal, regVal, 7)
+			b.Add(regT3, 0, regTmp)
+			b.Store(regT3, 0, regVal, 8)
+		})
+		b.Line(610)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 3, outer)
+		b.Halt()
+		emitColdCode(b, "fft.c", 700)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(tiles + mem.Addr(t)*4096),
+			1: int64(tiles + mem.Addr((t+1)%4)*4096),
+		}
+	})
+	return img
+}
+
+// buildFMM: multipole interactions, mostly private with a shared cost
+// counter.
+func buildFMM(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	boxes := alloc.AllocAligned(4*8192, 64)
+	cost := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("fmm.c", 500)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(30_000), func() {
+		b.Line(502)
+		b.AluI(isa.And, regTmp, regCtr, 1023)
+		b.AluI(isa.Shl, regTmp, regTmp, 3)
+		b.Add(regT2, 0, regTmp)
+		b.Load(regVal, regT2, 0, 8)
+		b.Line(503)
+		b.AluI(isa.Mul, regVal, regVal, 11)
+		b.AluI(isa.Div, regVal, regVal, 3)
+		b.Add(regT3, regT3, regVal)
+	})
+	b.Line(520).Halt()
+	emitColdCode(b, "fmm.c", 800)
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(boxes + mem.Addr(t)*8192),
+			2: int64(cost),
+		}
+	})
+	return img
+}
+
+// buildLUCB: blocked LU with contiguous blocks — compute-bound, clean.
+func buildLUCB(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	blocks := alloc.AllocAligned(4*8192, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("lu_cb.c", 300)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("step")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(10_000), func() {
+			b.Line(302)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.Line(303)
+			b.AluI(isa.Mul, regVal, regVal, 5)
+			b.AluI(isa.Sub, regVal, regVal, 3)
+			b.Store(regT2, 0, regVal, 8)
+		})
+		b.Line(310)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 3, outer)
+		b.Halt()
+		emitColdCode(b, "lu_cb.c", 700)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{0: int64(blocks + mem.Addr(t)*8192)}
+	})
+	return img
+}
+
+// buildLUNCB reproduces the §7.4.2 discovery: the non-contiguous-block LU
+// keeps its matrix in one shared array whose rows interleave between
+// threads. Two structures matter:
+//
+//   - the main a array: 64-byte rows that the allocator leaves straddling
+//     line boundaries. Running under a tool shifts the heap just enough
+//     to line them up — the "coincidental change in memory layout" that
+//     makes lu_ncb 30% faster under LASER;
+//   - the boundary-pivot array a2, misaligned under every bias, whose
+//     false sharing LASERDETECT still reports. Its update loop calls a
+//     helper, so LASERREPAIR's analysis refuses the region (§7.4.2).
+func buildLUNCB(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	// Padding chosen so bias 0 → rows at offset 48 (straddling), while
+	// the 16-byte tool bias lands them on line boundaries.
+	alloc.Alloc(16)
+	var a mem.Addr
+	if o.Variant == Fixed {
+		a = alloc.AllocAligned(4*64, 64)
+	} else {
+		a = alloc.Alloc(4 * 64)
+	}
+	img.addSite(a, 4*64, isa.SourceLoc{File: "lu_ncb.c", Line: 77})
+	// The boundary pivots: four 8-byte slots packed in one line.
+	a2 := alloc.AllocAligned(64+8, 64)
+	a2 += 8 // deliberately never line-aligned relative to its users
+	img.addSite(a2, 32, isa.SourceLoc{File: "lu_ncb.c", Line: 79})
+	aux := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("lu_ncb.c", 320)
+	b.Func("worker")
+	emitCountedLoop(b, o.iters(30_000), func() {
+		// Row boundary update: first and last element of this thread's
+		// row, every 32 inner steps.
+		rowSkip := uniqueLabel("lrow")
+		b.Line(321)
+		b.AluI(isa.And, regAux, regCtr, 31)
+		b.BranchI(isa.Ne, regAux, 0, rowSkip)
+		b.Line(322)
+		emitSharedRMW(b, 0, 0)
+		b.Line(323)
+		emitSharedRMW(b, 0, 56)
+		b.Label(rowSkip)
+		b.Line(325)
+		b.AluI(isa.Mul, regVal, regVal, 3)
+		b.AluI(isa.Add, regVal, regVal, 1)
+		b.AluI(isa.Xor, regT3, regT3, 5)
+		b.AluI(isa.Add, regT3, regT3, 9)
+		// Boundary pivot update via a helper (the "sophisticated code
+		// structure" that defeats LASERREPAIR's analysis, §7.4.2).
+		skip := uniqueLabel("lns")
+		b.Line(330)
+		b.AluI(isa.And, regAux, regCtr, 1023)
+		b.BranchI(isa.Ne, regAux, 0, skip)
+		b.Call("lu_daxpy")
+		b.Label(skip)
+		b.Line(334)
+		emitAuxShared(b, 3, 0, 16383)
+	})
+	b.Line(340).Halt()
+	b.At("lu_ncb.c", 360)
+	b.Func("lu_daxpy")
+	emitSharedRMW(b, 2, 0)
+	b.Line(362)
+	b.Call("lu_idamax") // nested pivot search inside the hot region
+	emitSharedRMW(b, 2, 0)
+	b.Ret()
+	b.At("lu_ncb.c", 380)
+	b.Func("lu_idamax")
+	b.AluI(isa.Add, regT2, regT2, 1)
+	b.Ret()
+	emitColdCode(b, "lu_ncb.c", 800)
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(a + mem.Addr(t)*64),
+			2: int64(a2 + mem.Addr(t)*8),
+			3: int64(aux),
+		}
+	})
+	return img
+}
+
+// buildOcean: red-black stencil sweeps with boundary-row exchange.
+func buildOcean(o Options, file string) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	grid := alloc.AllocAligned(4*8192, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At(file, 900)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("sweep")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(7_000), func() {
+			b.Line(902)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.Line(903)
+			b.AluI(isa.Mul, regVal, regVal, 4)
+			b.AluI(isa.Div, regVal, regVal, 5)
+			b.Store(regT2, 0, regVal, 8)
+		})
+		b.Line(920)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 4, outer)
+		b.Halt()
+		emitColdCode(b, file, 900)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(grid + mem.Addr(t)*8192),
+			1: int64(grid + mem.Addr((t+1)%4)*8192),
+		}
+	})
+	return img
+}
+
+// buildRadiosity: a task queue guarded by naive locks — heavy
+// store-record noise, nothing over LASER's bar.
+func buildRadiosity(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	taskLock := alloc.AllocAligned(64, 64)
+	tasks := alloc.AllocAligned(4*64, 64)
+	patches := alloc.AllocAligned(4*8192, 64)
+
+	b := isa.NewBuilder().At("radiosity.c", 1000)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		emitCountedLoop(b, o.iters(5_000), func() {
+			// Refill this thread's task queue under the global lock.
+			skip := uniqueLabel("rts")
+			b.Line(1002)
+			b.AluI(isa.And, regAux, regCtr, 7)
+			b.BranchI(isa.Ne, regAux, 0, skip)
+			lockCall(b, lib, int64(taskLock))
+			b.Load(regVal, 2, 0, 8)
+			b.AddI(regVal, regVal, 1)
+			b.Store(2, 0, regVal, 8)
+			unlockCall(b, lib, int64(taskLock))
+			b.Label(skip)
+			// Shade the patch.
+			b.Line(1010)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regT3, regT2, 0, 8)
+			b.AluI(isa.Mul, regT3, regT3, 3)
+			b.Store(regT2, 0, regT3, 8)
+			emitWorkQuantum(b, 40)
+		})
+		b.Line(1020).Halt()
+		emitColdCode(b, "radiosity.c", 1100)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(patches + mem.Addr(t)*8192),
+			2: int64(tasks + mem.Addr(t)*64), // per-thread task queue heads
+		}
+	})
+	return img
+}
+
+// buildRadix: histogram ranking with a shared digit-count line updated at
+// a moderate rate (its Table 1 false positive).
+func buildRadix(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	keys := alloc.AllocAligned(4*8192, 64)
+	digits := alloc.AllocAligned(64, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("radix.c", 450)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("pass")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(15_000), func() {
+			b.Line(452)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.Line(453)
+			b.AluI(isa.Shr, regVal, regVal, 4)
+			b.AluI(isa.And, regVal, regVal, 255)
+			b.Line(458)
+			emitAuxShared(b, 2, 0, 8191)
+		})
+		b.Line(470)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 2, outer)
+		b.Halt()
+		emitColdCode(b, "radix.c", 700)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(keys + mem.Addr(t)*8192),
+			2: int64(digits),
+		}
+	})
+	return img
+}
+
+// buildRaytraceSplash: work-stealing ray groups via a shared counter,
+// with three moderately-hot bookkeeping lines (Table 1's three FPs) and a
+// packed per-thread ray buffer for Sheriff to flag.
+func buildRaytraceSplash(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	work := alloc.AllocAligned(64, 64)
+	aux := alloc.AllocAligned(3*64, 64)
+	rayBuf := alloc.Alloc(4 * 8)
+	img.addSite(rayBuf, 32, isa.SourceLoc{File: "raytrace.c", Line: 210})
+	scene := alloc.AllocAligned(16384, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("raytrace.c", 230)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("frame")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(12_000), func() {
+			b.Line(232)
+			b.AluI(isa.Mul, regTmp, regCtr, 2246822519)
+			b.AluI(isa.And, regTmp, regTmp, 2047)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.Line(233)
+			b.AluI(isa.Mul, regVal, regVal, 3)
+			b.Add(regT3, regT3, regVal)
+			// Steal a ray group once in a while.
+			skip := uniqueLabel("rss")
+			b.Line(240)
+			b.AluI(isa.And, regAux, regCtr, 4095)
+			b.BranchI(isa.Ne, regAux, 0, skip)
+			b.Li(regT3, 1)
+			b.FetchAdd(regVal, 2, 0, regT3, 8)
+			b.Store(1, 0, regVal, 8) // stash in the packed ray buffer
+			b.Label(skip)
+			for i := 0; i < 2; i++ {
+				b.Line(244 + i)
+				emitAuxShared(b, 3, int64(i)*64, 8191)
+			}
+		})
+		b.Line(250)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 2, outer)
+		b.Halt()
+		emitColdCode(b, "raytrace.c", 900)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(scene),
+			1: int64(rayBuf + mem.Addr(t)*8),
+			2: int64(work),
+			3: int64(aux),
+		}
+	})
+	return img
+}
+
+// buildVolrend: §7.4.3's true sharing on the Global->Queue counter,
+// guarded by a test-and-test-and-set lock. The Fixed variant batches the
+// increments: HITMs drop an order of magnitude, runtime does not move.
+func buildVolrend(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	qLock := alloc.AllocAligned(64, 64)
+	queue := alloc.AllocAligned(64, 64)
+	img.addSite(queue, 64, isa.SourceLoc{File: "volrend.c", Line: 58})
+	aux := alloc.AllocAligned(64, 64)
+	voxels := alloc.AllocAligned(4*8192, 64)
+	batched := o.Variant == Fixed
+
+	b := isa.NewBuilder().At("volrend.c", 600)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		emitCountedLoop(b, o.iters(900), func() {
+			// Ray work.
+			b.Line(602)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.AluI(isa.Mul, regVal, regVal, 3)
+			emitWorkQuantum(b, 100)
+			b.IO(5_600) // compositing work outside the tracked mix
+			// Global->Queue under its lock.
+			if batched {
+				skip := uniqueLabel("vbs")
+				b.Line(610)
+				b.AluI(isa.And, regAux, regCtr, 15)
+				b.BranchI(isa.Ne, regAux, 0, skip)
+				b.Li(regT3, 16)
+				b.FetchAdd(regVal, 2, 0, regT3, 8)
+				b.Label(skip)
+			} else {
+				b.Line(610)
+				ttasLockCall(b, lib, int64(qLock))
+				b.Line(612)
+				emitSharedRMW(b, 2, 0)
+				ttasUnlockCall(b, lib, int64(qLock))
+			}
+			b.At("volrend.c", 600)
+			b.Line(616)
+			emitAuxShared(b, 3, 0, 1023)
+		})
+		b.Line(630).Halt()
+		emitColdCode(b, "volrend.c", 800)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			0: int64(voxels + mem.Addr(t)*8192),
+			2: int64(queue),
+			3: int64(aux),
+		}
+	})
+	return img
+}
+
+// buildWaterNsquared: the synchronization-intensive molecular dynamics
+// kernel — frequent barriers and per-molecule locks make it Sheriff's
+// worst case (§7.3) while running cleanly everywhere else.
+func buildWaterNsquared(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	mol := alloc.AllocAligned(4*8192, 64)
+	molLock := alloc.AllocAligned(64, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("water_nsq.c", 700)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("step")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(600), func() {
+			b.Line(702)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.AluI(isa.Mul, regVal, regVal, 5)
+			b.Store(regT2, 0, regVal, 8)
+			emitWorkQuantum(b, 25)
+			// Inter-molecule force exchange under a lock.
+			skip := uniqueLabel("wns")
+			b.Line(710)
+			b.AluI(isa.And, regAux, regCtr, 15)
+			b.BranchI(isa.Ne, regAux, 0, skip)
+			lockCall(b, lib, int64(molLock))
+			unlockCall(b, lib, int64(molLock))
+			b.Label(skip)
+		})
+		b.Line(720)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 24, outer)
+		b.Halt()
+		emitColdCode(b, "water_nsq.c", 2000)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{0: int64(mol + mem.Addr(t)*8192)}
+	})
+	return img
+}
+
+// buildWaterSpatial: the cell-based variant — far less synchronization.
+func buildWaterSpatial(o Options) *Image {
+	img := &Image{Threads: 4}
+	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
+	cells := alloc.AllocAligned(4*8192, 64)
+	bar := alloc.AllocAligned(64, 64)
+
+	b := isa.NewBuilder().At("water_sp.c", 750)
+	b.Func("worker")
+	libLater(b, func(lib Lib) {
+		outer := uniqueLabel("step")
+		b.Li(9, 0)
+		b.Label(outer)
+		emitCountedLoop(b, o.iters(12_000), func() {
+			b.Line(752)
+			b.AluI(isa.And, regTmp, regCtr, 1023)
+			b.AluI(isa.Shl, regTmp, regTmp, 3)
+			b.Add(regT2, 0, regTmp)
+			b.Load(regVal, regT2, 0, 8)
+			b.AluI(isa.Mul, regVal, regVal, 5)
+			b.AluI(isa.Div, regVal, regVal, 2)
+			b.Store(regT2, 0, regVal, 8)
+		})
+		b.Line(760)
+		barrierCall(b, lib, int64(bar), 4)
+		b.AddI(9, 9, 1)
+		b.BranchI(isa.Lt, 9, 3, outer)
+		b.Halt()
+		emitColdCode(b, "water_sp.c", 700)
+	})
+	img.Prog = b.Build()
+	img.Specs = specs4(func(t int) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{0: int64(cells + mem.Addr(t)*8192)}
+	})
+	return img
+}

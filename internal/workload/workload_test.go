@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// tiny builds a workload at test scale.
+func tiny(t *testing.T, name string, o Options) (*Image, *machine.Machine) {
+	t.Helper()
+	w, ok := Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	img := w.Build(o)
+	m := machine.New(img.Prog, machine.Config{Cores: 4, MaxCycles: 3 << 30}, img.Specs)
+	img.Init(m)
+	return img, m
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 35 {
+		t.Fatalf("registered %d workloads, want 35 (the paper's Table 1): %v",
+			len(names), names)
+	}
+	suites := map[string]int{}
+	for _, w := range All() {
+		suites[w.Suite]++
+		if w.Build == nil {
+			t.Errorf("%s has no builder", w.Name)
+		}
+		if w.Threads != 4 {
+			t.Errorf("%s has %d threads, want 4", w.Name, w.Threads)
+		}
+	}
+	if suites["phoenix"] != 9 || suites["parsec"] != 13 || suites["splash2x"] != 13 {
+		t.Errorf("suite sizes = %v", suites)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("nonesuch"); ok {
+		t.Error("Get should fail for unknown names")
+	}
+}
+
+// TestAllWorkloadsRunToCompletion executes every workload at a small
+// scale and checks basic health: termination, all four threads doing
+// work, and a populated memory map.
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			img, m := tiny(t, w.Name, Options{})
+			st, err := m.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if st.Instructions == 0 {
+				t.Fatal("no instructions executed")
+			}
+			vm := img.VMMap()
+			if !vm.IsCode(mem.AppTextBase) {
+				t.Error("memory map missing app text")
+			}
+			if img.Prog.LibTextSize() > 0 && !vm.IsCode(mem.LibTextBase) {
+				t.Error("memory map missing lib text")
+			}
+		})
+	}
+}
+
+// TestFixedVariantsRun executes the Fixed build of every workload that
+// has one.
+func TestFixedVariantsRun(t *testing.T) {
+	for _, w := range All() {
+		if !w.HasFix {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			_, m := tiny(t, w.Name, Options{Variant: Fixed})
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("fixed run: %v", err)
+			}
+		})
+	}
+}
+
+// TestBuggyWorkloadsGenerateContention: the nine Table 2 workloads must
+// produce substantially more HITM traffic than a quiet one.
+func TestBuggyWorkloadsGenerateContention(t *testing.T) {
+	quietRate := hitmRate(t, "blackscholes", Options{})
+	for _, name := range []string{
+		"bodytrack", "dedup", "histogram'", "kmeans", "linear_regression",
+		"lu_ncb", "reverse_index", "streamcluster", "volrend",
+	} {
+		o := Options{}
+		if name == "dedup" {
+			o.Scale = 0.5 // one item per producer is degenerate
+		}
+		rate := hitmRate(t, name, o)
+		if rate < 10*quietRate+1000 {
+			t.Errorf("%s HITM rate %.0f/s vs quiet %.0f/s — contention missing",
+				name, rate, quietRate)
+		}
+	}
+}
+
+func hitmRate(t *testing.T, name string, o Options) float64 {
+	t.Helper()
+	_, m := tiny(t, name, o)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return float64(st.HITMs()) / st.Seconds()
+}
+
+// TestFixesReduceContention: padding/alignment/restructuring fixes must
+// cut the HITM rate hard (§7.4 case studies).
+func TestFixesReduceContention(t *testing.T) {
+	// reverse_index's counter is deliberately too rate-limited to fire
+	// at unit-test scale; the experiments cover it.
+	for _, name := range []string{
+		"histogram'", "linear_regression", "kmeans", "volrend",
+	} {
+		native := hitmRate(t, name, Options{})
+		fixed := hitmRate(t, name, Options{Variant: Fixed})
+		if fixed > native/2 {
+			t.Errorf("%s: fix did not curb HITMs (%.0f → %.0f /s)", name, native, fixed)
+		}
+	}
+}
+
+// TestStructuralFixesImproveRuntime: lu_ncb's alignment fix and dedup's
+// lock-free queue are judged by the paper on runtime (36% and 16%).
+func TestStructuralFixesImproveRuntime(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"lu_ncb", 0.2},
+		{"dedup", 0.5},
+	} {
+		_, m0 := tiny(t, tc.name, Options{Scale: tc.scale})
+		st0, err := m0.Run()
+		if err != nil {
+			t.Fatalf("%s native: %v", tc.name, err)
+		}
+		_, m1 := tiny(t, tc.name, Options{Variant: Fixed, Scale: tc.scale})
+		st1, err := m1.Run()
+		if err != nil {
+			t.Fatalf("%s fixed: %v", tc.name, err)
+		}
+		if st1.Cycles >= st0.Cycles {
+			t.Errorf("%s: fix did not improve runtime (%d → %d cycles)",
+				tc.name, st0.Cycles, st1.Cycles)
+		}
+	}
+}
+
+// TestLUNCBLayoutCoincidence: the tool-attach heap bias removes the main
+// a-array false sharing and speeds lu_ncb up (§7.2) while the boundary
+// pivots still contend (so the bug stays detectable, §7.4.2).
+func TestLUNCBLayoutCoincidence(t *testing.T) {
+	_, m0 := tiny(t, "lu_ncb", Options{Scale: 0.2})
+	st0, err := m0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m1 := tiny(t, "lu_ncb", Options{Scale: 0.2, HeapBias: mem.ChunkHeader})
+	st1, err := m1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cycles >= st0.Cycles*9/10 {
+		t.Errorf("heap bias did not speed lu_ncb up: %d vs %d cycles", st1.Cycles, st0.Cycles)
+	}
+	if st1.HITMs() == 0 {
+		t.Error("boundary-pivot contention vanished under bias; bug undetectable")
+	}
+}
+
+// TestHistogramInputSensitivity: the standard input has no false sharing;
+// the alternative input does (§7.4.1).
+func TestHistogramInputSensitivity(t *testing.T) {
+	std := hitmRate(t, "histogram", Options{})
+	alt := hitmRate(t, "histogram'", Options{})
+	if std*20 > alt {
+		t.Errorf("histogram' (%.0f/s) should dwarf histogram (%.0f/s)", alt, std)
+	}
+}
+
+// TestDedupPipelineDeliversItems: consumers must dequeue exactly what
+// producers enqueued (lock and lock-free variants).
+func TestDedupPipelineDeliversItems(t *testing.T) {
+	for _, variant := range []Variant{Native, Fixed} {
+		_, m := tiny(t, "dedup", Options{Variant: variant, Scale: 0.3})
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("variant %v: %v", variant, err)
+		}
+		if st.Instructions == 0 {
+			t.Fatalf("variant %v: nothing ran", variant)
+		}
+	}
+}
+
+func TestResolveLineFindsAllocSites(t *testing.T) {
+	w, _ := Get("reverse_index")
+	img := w.Build(Options{Scale: 0.05})
+	// The use_len array resolves to the malloc wrapper in util.c.
+	found := false
+	for _, s := range img.sites {
+		if s.loc.File == "util.c" {
+			loc, ok := img.ResolveLine(mem.LineOf(s.start))
+			if !ok || loc.File != "util.c" {
+				t.Errorf("ResolveLine = %v, %v", loc, ok)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reverse_index has no util.c alloc site")
+	}
+	if _, ok := img.ResolveLine(mem.LineOf(mem.StackBase)); ok {
+		t.Error("stack line resolved to an alloc site")
+	}
+}
+
+// TestColdCodeNeverExecutes: the binary-padding functions must not run.
+func TestColdCodeNeverExecutes(t *testing.T) {
+	_, m := tiny(t, "string_match", Options{})
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If cold code ran, instruction counts would explode past the hot
+	// loop's: 4 threads × iters × ~7 instructions.
+	maxExpected := uint64(4 * 150_000 * 12)
+	if st.Instructions > maxExpected {
+		t.Errorf("instructions = %d, cold code may be executing", st.Instructions)
+	}
+}
+
+// TestScaleControlsDuration: doubling Scale roughly doubles cycles.
+func TestScaleControlsDuration(t *testing.T) {
+	_, m1 := tiny(t, "pca", Options{Scale: 0.05})
+	st1, _ := m1.Run()
+	_, m2 := tiny(t, "pca", Options{Scale: 0.1})
+	st2, _ := m2.Run()
+	ratio := float64(st2.Cycles) / float64(st1.Cycles)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("scale 2x changed cycles by %.2fx", ratio)
+	}
+}

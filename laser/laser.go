@@ -1,0 +1,185 @@
+// Package laser is the public face of the LASER reproduction: it wires
+// the simulated Haswell machine, the PEBS HITM sampling hardware, the
+// kernel driver, the LASERDETECT pipeline and the LASERREPAIR rewriter
+// into the three-process architecture of the paper's Figure 8, and runs a
+// workload under it.
+//
+// Typical use:
+//
+//	w, _ := workload.Get("linear_regression")
+//	res, err := laser.Run(w, workload.Options{}, laser.DefaultConfig())
+//	fmt.Print(res.Report.Render())
+package laser
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+// Config assembles the component configurations.
+type Config struct {
+	Cores        int
+	PEBS         pebs.Config
+	Driver       driver.Config
+	Detector     core.Config
+	Repair       repair.Config
+	EnableRepair bool
+	// PollInterval is the simulated-cycle slice between detector polls
+	// of the driver device (and repair-trigger checks).
+	PollInterval uint64
+	// MaxCycles caps the run (0 = effectively unbounded).
+	MaxCycles uint64
+}
+
+// DefaultConfig matches the paper's evaluation setup: SAV 19, 1K HITMs/s
+// report threshold, online repair enabled.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        4,
+		PEBS:         pebs.DefaultConfig(),
+		Driver:       driver.DefaultConfig(),
+		Detector:     core.DefaultConfig(),
+		Repair:       repair.DefaultConfig(),
+		EnableRepair: true,
+		PollInterval: 2_000_000, // ~0.6 ms at 3.4 GHz
+	}
+}
+
+// Result is everything a LASER run produces.
+type Result struct {
+	// Stats are the machine statistics of the monitored application.
+	Stats *machine.Stats
+	// Report is the contention report at exit (pre-repair aggregates).
+	Report *core.Report
+	// Pipeline exposes the detector for offline re-thresholding (Fig. 9).
+	Pipeline *core.Pipeline
+	// RepairApplied says whether LASERREPAIR rewrote the program.
+	RepairApplied bool
+	// RepairErr records why a triggered repair was refused (nil if repair
+	// never triggered or succeeded).
+	RepairErr error
+	// Seconds is the simulated duration.
+	Seconds float64
+	// DriverStats and PEBSStats expose the monitoring cost components
+	// (Figure 12).
+	DriverStats   driver.Stats
+	PEBSStats     pebs.Stats
+	DetectorCycle uint64
+}
+
+// AttachBias is the heap perturbation of running a process under the
+// LASER harness: the detector's fork shifts the target's brk by one
+// allocator chunk header — the §7.2 lu_ncb layout coincidence.
+const AttachBias = mem.ChunkHeader
+
+// RunNative executes a workload image without any monitoring.
+func RunNative(img *workload.Image, cores int) (*machine.Stats, error) {
+	m := machine.New(img.Prog, machine.Config{Cores: cores}, img.Specs)
+	img.Init(m)
+	return m.Run()
+}
+
+// Run builds the workload (with the attach-time heap bias), starts the
+// full LASER stack around it, and executes to completion with periodic
+// detector polling and, when triggered and profitable, online repair.
+func Run(w *workload.Workload, opts workload.Options, cfg Config) (*Result, error) {
+	opts.HeapBias = AttachBias
+	img := w.Build(opts)
+	return RunImage(img, cfg)
+}
+
+// RunImage runs LASER around an already-built image.
+func RunImage(img *workload.Image, cfg Config) (*Result, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 2_000_000
+	}
+	vm := img.VMMap()
+	drv := driver.New(cfg.Driver)
+	pmu := pebs.New(cfg.PEBS, cfg.Cores, img.Prog, vm, drv)
+	pipe, err := core.NewPipeline(cfg.Detector, vm.Render(), img.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("laser: %w", err)
+	}
+
+	var ctl *repair.Controller
+	mcfg := machine.Config{
+		Cores:     cfg.Cores,
+		Probe:     pmu,
+		MaxCycles: cfg.MaxCycles,
+		OnAliasMiss: func(tid int, pc mem.Addr) {
+			if ctl != nil {
+				ctl.OnAliasMiss(tid, pc)
+			}
+		},
+	}
+	m := machine.New(img.Prog, mcfg, img.Specs)
+	img.Init(m)
+	ctl = repair.NewController(cfg.Repair, m)
+
+	res := &Result{Pipeline: pipe}
+	var next uint64 = cfg.PollInterval
+	for {
+		done, err := m.RunFor(next)
+		if err != nil {
+			return res, err
+		}
+		if !res.RepairApplied {
+			// Pre-repair records attribute correctly to the original
+			// program; afterwards the rewritten PCs would mislead the
+			// pipeline, so monitoring results are frozen (the paper's
+			// detector likewise reports the pre-repair contention).
+			pipe.Feed(drv.Poll())
+		} else {
+			drv.Poll() // drain
+		}
+		if done {
+			break
+		}
+		st := m.Stats()
+		if cfg.EnableRepair && !res.RepairApplied && res.RepairErr == nil {
+			if pcs, ok := pipe.RepairCandidates(st.Seconds()); ok {
+				if err := ctl.Apply(pcs); err != nil {
+					res.RepairErr = err
+				} else {
+					res.RepairApplied = true
+				}
+			}
+		}
+		next += cfg.PollInterval
+	}
+	pmu.Drain()
+	if !res.RepairApplied {
+		pipe.Feed(drv.Poll())
+	}
+
+	res.Stats = m.Stats()
+	res.Seconds = res.Stats.Seconds()
+	res.Report = pipe.Report(res.Seconds)
+	res.DriverStats = drv.Stats()
+	res.PEBSStats = pmu.Stats()
+	res.DetectorCycle = pipe.DetectorCycles()
+	return res, nil
+}
+
+// ErrNoWorkload is returned by RunByName for unknown workloads.
+var ErrNoWorkload = errors.New("laser: unknown workload")
+
+// RunByName is a convenience wrapper for the command-line tools.
+func RunByName(name string, opts workload.Options, cfg Config) (*Result, error) {
+	w, ok := workload.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoWorkload, name)
+	}
+	return Run(w, opts, cfg)
+}

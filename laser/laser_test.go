@@ -1,0 +1,138 @@
+package laser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+// scale keeps facade tests quick while leaving enough run time for the
+// detector to act.
+const scale = 0.6
+
+func TestRunDetectsAndRepairsLinearRegression(t *testing.T) {
+	w, _ := workload.Get("linear_regression")
+	res, err := Run(w, workload.Options{Scale: scale}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RepairApplied {
+		t.Errorf("online repair not applied (repairErr=%v)", res.RepairErr)
+	}
+	found := false
+	for _, l := range res.Report.Lines {
+		if l.Loc.File == "lreg.c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lreg.c contention not reported:\n%s", res.Report.Render())
+	}
+	// Repair must beat the unmonitored native run despite monitoring.
+	img := w.Build(workload.Options{Scale: scale})
+	nat, err := RunNative(img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles >= nat.Cycles {
+		t.Errorf("LASER run with repair (%d cycles) not faster than native (%d)",
+			res.Stats.Cycles, nat.Cycles)
+	}
+}
+
+func TestRunQuietWorkloadLowOverhead(t *testing.T) {
+	w, _ := workload.Get("blackscholes")
+	res, err := Run(w, workload.Options{Scale: scale}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := w.Build(workload.Options{Scale: scale})
+	nat, err := RunNative(img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.Stats.Cycles) / float64(nat.Cycles)
+	if ratio > 1.05 {
+		t.Errorf("quiet workload overhead %.3fx, want ~1.0x", ratio)
+	}
+	if len(res.Report.Lines) != 0 {
+		t.Errorf("quiet workload reported contention: %+v", res.Report.Lines)
+	}
+	if res.RepairApplied {
+		t.Error("repair applied on a quiet workload")
+	}
+}
+
+func TestRunTrueSharingNoRepair(t *testing.T) {
+	w, _ := workload.Get("kmeans")
+	res, err := Run(w, workload.Options{Scale: 0.3}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairApplied {
+		t.Error("LASERREPAIR must not attempt to repair true sharing")
+	}
+	if len(res.Report.Lines) == 0 {
+		t.Fatal("kmeans contention not reported")
+	}
+}
+
+func TestRunLuNcbRepairRefused(t *testing.T) {
+	w, _ := workload.Get("lu_ncb")
+	res, err := Run(w, workload.Options{Scale: 2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairApplied {
+		t.Error("lu_ncb repair should be refused (§7.4.2)")
+	}
+	if res.RepairErr == nil {
+		t.Skip("repair never triggered at this scale")
+	}
+	if !errors.Is(res.RepairErr, repair.ErrComplexRegion) &&
+		!errors.Is(res.RepairErr, repair.ErrNotProfitable) {
+		t.Errorf("refusal reason = %v", res.RepairErr)
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	if _, err := RunByName("nonesuch", workload.Options{}, DefaultConfig()); !errors.Is(err, ErrNoWorkload) {
+		t.Errorf("err = %v, want ErrNoWorkload", err)
+	}
+	res, err := RunByName("string_match", workload.Options{Scale: 0.1}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions == 0 {
+		t.Error("no instructions executed")
+	}
+}
+
+func TestResultRenderable(t *testing.T) {
+	res, err := RunByName("histogram'", workload.Options{Scale: scale}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Report.Render()
+	if !strings.Contains(text, "contention report") {
+		t.Errorf("render: %q", text)
+	}
+	if res.PEBSStats.Records == 0 || res.DriverStats.Records == 0 {
+		t.Error("monitoring stats empty")
+	}
+}
+
+func TestRepairDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableRepair = false
+	res, err := RunByName("histogram'", workload.Options{Scale: scale}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairApplied {
+		t.Error("repair ran while disabled")
+	}
+}
