@@ -7,6 +7,19 @@
 // reproduces the whole evaluation. Key scalar outcomes are attached as
 // benchmark metrics. Scales can be tuned via LASER_BENCH_ASCALE /
 // LASER_BENCH_PSCALE / LASER_BENCH_RUNS.
+//
+// The experiment harness runs the independent simulations of each figure
+// concurrently on all host cores; LASER_BENCH_PARALLEL caps the worker
+// count (1 = serial). Output is byte-identical at any setting — only the
+// wall time changes. Native (unmonitored) baseline runs are memoized per
+// (workload, scale, variant) across figures and repetitions, so e.g.
+// Figure 10's LASER and VTune columns share one baseline simulation per
+// workload instead of re-running it six times.
+//
+// Per-component microbenchmarks live next to their subjects:
+// BenchmarkMachineStep and BenchmarkMemoryLoadStore in internal/machine,
+// BenchmarkCoherenceAccess in internal/coherence (run with -benchmem; the
+// hot paths are 0 allocs/op).
 package repro
 
 import (

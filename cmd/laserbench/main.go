@@ -5,6 +5,10 @@
 //
 //	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
 //	           [-ascale N] [-pscale N] [-runs N]
+//
+// Independent simulations run concurrently on every host core; set
+// LASER_BENCH_PARALLEL to pick the worker count (1 = fully serial). The
+// rendered output is byte-identical at any parallelism.
 package main
 
 import (

@@ -15,4 +15,28 @@
 // Start with package laser (the public API), DESIGN.md (system inventory)
 // and EXPERIMENTS.md (paper-versus-measured results). The benchmarks in
 // bench_test.go regenerate every table and figure of the paper's evaluation.
+//
+// # Performance
+//
+// The simulated machine is tuned for interpreter throughput: the
+// coherence directory and the HITM-by-PC ground truth are flat
+// open-addressed tables, backing memory is a two-level page index behind
+// a two-entry page cache, and the scheduler retires batches of
+// instructions per core (running ahead through provably thread-local
+// instructions) while reproducing the serial lowest-clock-first schedule
+// bit for bit. BenchmarkMachineStep, BenchmarkCoherenceAccess and
+// BenchmarkMemoryLoadStore (in internal/machine and internal/coherence)
+// measure the per-instruction, per-directory-access and per-load/store
+// hot paths; the load/store path runs at 0 allocs/op.
+//
+// The experiment harness in internal/experiments fans independent
+// (workload, tool, seed) simulations out across all host cores — each
+// Machine is single-threaded, so runs parallelize safely — and memoizes
+// the deterministic native (unmonitored) baselines by (workload, scale,
+// variant) so no figure re-simulates one. LASER_BENCH_PARALLEL selects
+// the worker count (default GOMAXPROCS; 1 recovers the serial harness);
+// results are assembled in index order, so every rendered table and
+// figure is byte-identical at any parallelism. LASER_BENCH_ASCALE,
+// LASER_BENCH_PSCALE and LASER_BENCH_RUNS scale the benchmark suite in
+// bench_test.go.
 package repro

@@ -1,0 +1,26 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// BenchmarkCoherenceAccess measures one directory transaction with the
+// access shape contention produces: each line of a 1024-line working set
+// takes a burst of accesses from alternating cores (the HITM ping-pong of
+// Figure 1) before the traffic moves to the next line. It must run at
+// 0 allocs/op once the directory is warm.
+func BenchmarkCoherenceAccess(b *testing.B) {
+	const lines = 1024
+	m := NewModel(4)
+	for i := 0; i < lines; i++ {
+		m.Access(i%4, mem.Addr(0x100000+i*mem.LineSize), true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(0x100000 + (i/8%lines)*mem.LineSize)
+		m.Access(i%4, addr, i%3 == 0)
+	}
+}

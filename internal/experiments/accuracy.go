@@ -54,18 +54,41 @@ type AccuracyResult struct {
 }
 
 // RunAccuracy performs the Table 1 measurement: every workload once under
-// LASER (SAV 19), once under VTune, once under Sheriff-Detect.
+// LASER (SAV 19), once under VTune, once under Sheriff-Detect. The
+// per-workload measurements are independent, so they run on the
+// experiment worker pool; rows and retained detector state are assembled
+// in workload order, identical to the serial result.
 func RunAccuracy(cfg Config) (*AccuracyResult, error) {
+	names := workloadNames()
+	rows := make([]Tab1Row, len(names))
+	subs := make([]*AccuracyResult, len(names))
+	err := forEach(len(names), func(i int) error {
+		sub := &AccuracyResult{
+			pipelines: make(map[string]*core.Pipeline),
+			seconds:   make(map[string]float64),
+		}
+		row, err := accuracyRow(cfg, names[i], sub)
+		if err != nil {
+			return fmt.Errorf("accuracy %s: %w", names[i], err)
+		}
+		rows[i], subs[i] = row, sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &AccuracyResult{
+		Rows:      rows,
 		pipelines: make(map[string]*core.Pipeline),
 		seconds:   make(map[string]float64),
 	}
-	for _, name := range workloadNames() {
-		row, err := accuracyRow(cfg, name, res)
-		if err != nil {
-			return nil, fmt.Errorf("accuracy %s: %w", name, err)
+	for _, sub := range subs {
+		for name, p := range sub.pipelines {
+			res.pipelines[name] = p
 		}
-		res.Rows = append(res.Rows, row)
+		for name, s := range sub.seconds {
+			res.seconds[name] = s
+		}
 	}
 	return res, nil
 }

@@ -116,17 +116,23 @@ func buildCharCase(cat CharCategory, variant int) (*isa.Program, []machine.Threa
 }
 
 // RunFigure3 executes the 160 test cases and returns per-case data plus
-// per-category summaries.
+// per-category summaries. The cases are independent two-thread machines
+// and run concurrently on the experiment pool.
 func RunFigure3() ([]CharCase, []CharSummary, error) {
-	var cases []CharCase
-	for _, cat := range []CharCategory{TSRW, FSRW, TSWW, FSWW} {
-		for variant := 0; variant < 40; variant++ {
-			c, err := runCharCase(cat, variant)
-			if err != nil {
-				return nil, nil, fmt.Errorf("case %s/%d: %w", cat, variant, err)
-			}
-			cases = append(cases, c)
+	cats := []CharCategory{TSRW, FSRW, TSWW, FSWW}
+	const variants = 40
+	cases := make([]CharCase, len(cats)*variants)
+	err := forEach(len(cases), func(i int) error {
+		cat, variant := cats[i/variants], i%variants
+		c, err := runCharCase(cat, variant)
+		if err != nil {
+			return fmt.Errorf("case %s/%d: %w", cat, variant, err)
 		}
+		cases[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	var sums []CharSummary
 	for _, cat := range []CharCategory{TSRW, FSRW, TSWW, FSWW} {

@@ -17,10 +17,14 @@ type Fig10Row struct {
 }
 
 // RunFigure10 measures the monitoring overhead of LASER (SAV 19, repair
-// on) and VTune against native execution for all 35 workloads.
+// on) and VTune against native execution for all 35 workloads. Workloads
+// run concurrently on the experiment pool; the shared native baseline per
+// workload is simulated once and memoized.
 func RunFigure10(cfg Config) ([]Fig10Row, error) {
-	var rows []Fig10Row
-	for _, name := range workloadNames() {
+	names := workloadNames()
+	rows := make([]Fig10Row, len(names))
+	err := forEach(len(names), func(i int) error {
+		name := names[i]
 		l, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
 			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
 			if err != nil {
@@ -29,7 +33,7 @@ func RunFigure10(cfg Config) ([]Fig10Row, error) {
 			return res.Stats.Cycles, nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s laser: %w", name, err)
+			return fmt.Errorf("fig10 %s laser: %w", name, err)
 		}
 		v, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
 			out, err := runVTune(name, cfg.PerfScale, seed)
@@ -39,9 +43,13 @@ func RunFigure10(cfg Config) ([]Fig10Row, error) {
 			return out.stats.Cycles, nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s vtune: %w", name, err)
+			return fmt.Errorf("fig10 %s vtune: %w", name, err)
 		}
-		rows = append(rows, Fig10Row{Workload: name, Laser: l, VTune: v})
+		rows[i] = Fig10Row{Workload: name, Laser: l, VTune: v}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -76,26 +84,31 @@ type Fig11Row struct {
 }
 
 // RunFigure11 measures the automatic (online repair) and manual (source
-// fix) speedups of §7.2/Figure 11.
+// fix) speedups of §7.2/Figure 11. All bars run concurrently.
 func RunFigure11(cfg Config) ([]Fig11Row, error) {
-	var rows []Fig11Row
-	for _, name := range []string{"histogram'", "linear_regression"} {
-		norm, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
-			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+	autoNames := []string{"histogram'", "linear_regression"}
+	manualNames := []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"}
+	rows := make([]Fig11Row, len(autoNames)+len(manualNames))
+	err := forEach(len(rows), func(i int) error {
+		if i < len(autoNames) {
+			name := autoNames[i]
+			norm, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
+				res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+				if err != nil {
+					return 0, err
+				}
+				if !res.RepairApplied {
+					return 0, fmt.Errorf("repair did not trigger (err=%v)", res.RepairErr)
+				}
+				return res.Stats.Cycles, nil
+			})
 			if err != nil {
-				return 0, err
+				return fmt.Errorf("fig11 auto %s: %w", name, err)
 			}
-			if !res.RepairApplied {
-				return 0, fmt.Errorf("repair did not trigger (err=%v)", res.RepairErr)
-			}
-			return res.Stats.Cycles, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig11 auto %s: %w", name, err)
+			rows[i] = Fig11Row{Workload: name, Mode: "automatic", Speedup: 1 / norm}
+			return nil
 		}
-		rows = append(rows, Fig11Row{Workload: name, Mode: "automatic", Speedup: 1 / norm})
-	}
-	for _, name := range []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"} {
+		name := manualNames[i-len(autoNames)]
 		norm, err := normalizedRuntime(cfg, name, func(int64) (uint64, error) {
 			st, err := runNative(name, cfg.PerfScale, workload.Fixed)
 			if err != nil {
@@ -104,9 +117,13 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 			return st.Cycles, nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig11 manual %s: %w", name, err)
+			return fmt.Errorf("fig11 manual %s: %w", name, err)
 		}
-		rows = append(rows, Fig11Row{Workload: name, Mode: "manual", Speedup: 1 / norm})
+		rows[i] = Fig11Row{Workload: name, Mode: "manual", Speedup: 1 / norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -133,33 +150,45 @@ type Fig12Row struct {
 // LASER overhead is at least 10% — "very little time is spent inside the
 // LASER system" (§7.2.1).
 func RunFigure12(cfg Config) ([]Fig12Row, error) {
-	var rows []Fig12Row
-	for _, name := range workloadNames() {
+	names := workloadNames()
+	candidates := make([]*Fig12Row, len(names))
+	err := forEach(len(names), func(i int) error {
+		name := names[i]
 		res, err := runLaser(name, cfg.PerfScale, false, laserSAV, 1)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s: %w", name, err)
+			return fmt.Errorf("fig12 %s: %w", name, err)
 		}
 		nat, err := runNative(name, cfg.PerfScale, workload.Native)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		overhead := float64(res.Stats.Cycles) / float64(nat.Cycles)
 		if overhead < 1.10 {
-			continue
+			return nil
 		}
 		var appCycles uint64
 		for _, c := range res.Stats.CoreCycles {
 			appCycles += c
 		}
 		if appCycles == 0 {
-			continue
+			return nil
 		}
-		rows = append(rows, Fig12Row{
+		candidates[i] = &Fig12Row{
 			Workload:    name,
 			Overhead:    overhead,
 			DriverPct:   100 * float64(res.DriverStats.CyclesCharged) / float64(appCycles),
 			DetectorPct: 100 * float64(res.DetectorCycle) / float64(appCycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for _, r := range candidates {
+		if r != nil {
+			rows = append(rows, *r)
+		}
 	}
 	return rows, nil
 }
@@ -182,9 +211,12 @@ type Fig13Point struct {
 }
 
 // RunFigure13 sweeps the sample-after value on dedup (§7.2.1, Figure 13).
+// The sweep points run concurrently against one memoized dedup baseline.
 func RunFigure13(cfg Config) ([]Fig13Point, error) {
-	var out []Fig13Point
-	for _, sav := range []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31} {
+	savs := []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+	out := make([]Fig13Point, len(savs))
+	err := forEach(len(savs), func(i int) error {
+		sav := savs[i]
 		norm, err := normalizedRuntime(cfg, "dedup", func(seed int64) (uint64, error) {
 			res, err := runLaser("dedup", cfg.PerfScale, false, sav, seed)
 			if err != nil {
@@ -193,9 +225,13 @@ func RunFigure13(cfg Config) ([]Fig13Point, error) {
 			return res.Stats.Cycles, nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig13 sav=%d: %w", sav, err)
+			return fmt.Errorf("fig13 sav=%d: %w", sav, err)
 		}
-		out = append(out, Fig13Point{SAV: sav, Normalized: norm})
+		out[i] = Fig13Point{SAV: sav, Normalized: norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -231,10 +267,12 @@ type Fig14Row struct {
 }
 
 // RunFigure14 compares LASER, the manually fixed builds, Sheriff-Detect
-// and Sheriff-Protect (§7.3).
+// and Sheriff-Protect (§7.3). Benchmarks run concurrently on the
+// experiment pool.
 func RunFigure14(cfg Config) ([]Fig14Row, error) {
-	var rows []Fig14Row
-	for _, name := range fig14Set {
+	rows := make([]Fig14Row, len(fig14Set))
+	err := forEach(len(fig14Set), func(i int) error {
+		name := fig14Set[i]
 		w, _ := workload.Get(name)
 		row := Fig14Row{Workload: name}
 		var err error
@@ -246,7 +284,7 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 			return res.Stats.Cycles, nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig14 %s: %w", name, err)
+			return fmt.Errorf("fig14 %s: %w", name, err)
 		}
 		if w.HasFix {
 			row.ManualFix, err = normalizedRuntime(cfg, name, func(int64) (uint64, error) {
@@ -257,7 +295,7 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 				return st.Cycles, nil
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		// Sheriff: OK workloads run at full scale; SmallOK ones at the
@@ -272,15 +310,15 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 		} else {
 			nat, err := runNative(name, scale, workload.Native)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			det, err := runSheriff(name, scale, sheriff.Detect, force)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			prot, err := runSheriff(name, scale, sheriff.Protect, force)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if det.status != sheriff.OK || prot.status != sheriff.OK {
 				row.SheriffFailed = true
@@ -289,7 +327,11 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 				row.SheriffProt = float64(prot.stats.Cycles) / float64(nat.Cycles)
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -56,21 +56,16 @@ const (
 	CostCommitDirtyPage = 2_500
 )
 
-// costOf maps a coherence access outcome to cycles.
-func costOf(r coherence.Result) uint64 {
-	switch r {
-	case coherence.HitLocal:
-		return CostMemHitLocal
-	case coherence.HitShared:
-		return CostMemHitShared
-	case coherence.MissMemory:
-		return CostMissMemory
-	case coherence.MissRemoteClean:
-		return CostMissRemoteClean
-	case coherence.HITMLoad, coherence.HITMStore:
-		return CostHITM
-	case coherence.Upgrade:
-		return CostUpgrade
-	}
-	return CostMemHitLocal
+// costTable maps a coherence access outcome to cycles; the table form
+// keeps the per-access hot path branch-free.
+var costTable = [8]uint64{
+	coherence.HitLocal:        CostMemHitLocal,
+	coherence.HitShared:       CostMemHitShared,
+	coherence.MissMemory:      CostMissMemory,
+	coherence.MissRemoteClean: CostMissRemoteClean,
+	coherence.HITMLoad:        CostHITM,
+	coherence.HITMStore:       CostHITM,
+	coherence.Upgrade:         CostUpgrade,
+	7:                         CostMemHitLocal, // out-of-range guard value
 }
+

@@ -1,17 +1,32 @@
 package machine
 
 import (
+	"repro/internal/coherence"
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
 
 // access runs the coherence transaction for one access, charges the probe
 // for HITM events, and aborts any remote SSB-flush transactions that hold
-// the line (the HTM conflict-detection path).
+// the line (the HTM conflict-detection path). NOTE: runBatch's OpLoad and
+// OpStore arms repeat this body inline (the compiler declines to inline
+// it, and the call frame is measurable there) — any change to the
+// sequence below must be mirrored in both arms.
 func (m *Machine) access(t *thread, c int, in *isa.Instr, addr mem.Addr, write bool) uint64 {
 	m.stats.MemAccesses++
 	res := m.coh.Access(c, addr, write)
-	cost := costOf(res.Result)
+	if m.activeTxns > 0 {
+		m.abortConflictingTxns(t, addr)
+	}
+	if res.Result.IsHITM() {
+		m.noteHITM(t, c, in, addr, write, res)
+	}
+	return costTable[res.Result&7]
+}
+
+// abortConflictingTxns aborts any remote in-flight SSB-flush transaction
+// holding the line of addr (HTM conflict detection, §5.5).
+func (m *Machine) abortConflictingTxns(t *thread, addr mem.Addr) {
 	line := mem.LineOf(addr)
 	for _, other := range m.threads {
 		if other == t || other.txn == nil || other.txn.aborted {
@@ -24,24 +39,26 @@ func (m *Machine) access(t *thread, c int, in *isa.Instr, addr mem.Addr, write b
 			}
 		}
 	}
-	if res.Result.IsHITM() {
-		m.stats.HITMByPC[in.PC]++
-		if m.cfg.Probe != nil {
-			extra := m.cfg.Probe.OnHITM(HITMEvent{
-				Core:       c,
-				Thread:     t.id,
-				InstrIndex: t.pc,
-				PC:         in.PC,
-				Addr:       addr,
-				IsLoad:     !write,
-				Size:       in.Size,
-				Now:        m.clock[c],
-			})
-			m.clock[c] += extra
-			m.stats.ProbeCycles += extra
-		}
+}
+
+// noteHITM records a HITM in the ground-truth PC counts and charges the
+// probe (PEBS assist / driver interrupt cycles).
+func (m *Machine) noteHITM(t *thread, c int, in *isa.Instr, addr mem.Addr, write bool, res coherence.Access) {
+	m.hitmPCs.bump(in.PC)
+	if m.cfg.Probe != nil {
+		extra := m.cfg.Probe.OnHITM(HITMEvent{
+			Core:       c,
+			Thread:     t.id,
+			InstrIndex: t.pc,
+			PC:         in.PC,
+			Addr:       addr,
+			IsLoad:     !write,
+			Size:       in.Size,
+			Now:        m.clock[c],
+		})
+		m.clock[c] += extra
+		m.stats.ProbeCycles += extra
 	}
-	return cost
 }
 
 // memLoad implements OpLoad in both the normal and private-memory modes.
@@ -200,6 +217,7 @@ func (m *Machine) startFlush(t *thread, c int) uint64 {
 	n := uint64(t.ssb.Len())
 	dur := uint64(CostSSBFlushBase) + n*CostSSBFlushLine
 	t.txn = &txnState{lines: append([]mem.Line(nil), t.ssb.Lines()...), end: m.clock[c] + dur}
+	m.activeTxns++
 	return 0 // time passes via the transaction window
 }
 
@@ -216,6 +234,7 @@ func (m *Machine) resolveTxn(t *thread, c int) {
 			m.applySSB(t, c)
 			t.ssb.Clear()
 			t.txn = nil
+			m.activeTxns--
 			m.stats.Flushes++
 			return
 		}
@@ -228,6 +247,7 @@ func (m *Machine) resolveTxn(t *thread, c int) {
 	m.applySSB(t, c)
 	t.ssb.Clear()
 	t.txn = nil
+	m.activeTxns--
 	m.stats.Flushes++
 }
 

@@ -8,6 +8,7 @@
 package machine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -118,8 +119,13 @@ type txnState struct {
 }
 
 type thread struct {
-	id        int
-	regs      [isa.NumRegs]int64
+	id int
+	// regs is sized for the full uint8 register-number space rather than
+	// isa.NumRegs so every regs[in.Rx] in the interpreter is provably in
+	// bounds and the compiler elides the check; only the first NumRegs
+	// entries are architecturally meaningful, and the builder never emits
+	// higher numbers.
+	regs      [256]int64
 	pc        int
 	callStack []int
 	halted    bool
@@ -145,7 +151,97 @@ type Machine struct {
 	quantumEnd []uint64
 	clock      []uint64
 
+	// active lists the cores that still have runnable threads, in core
+	// order. It is maintained incrementally (cores only ever leave it, as
+	// their last thread halts) so the scheduler's min-clock scan touches
+	// only live cores instead of all of them on every pick.
+	active []int
+
+	// curThread[c] caches threads[runq[c][cur[c]]] (nil when c has no
+	// runnable thread) so the batch loop skips the triple indirection.
+	curThread []*thread
+
+	// activeTxns counts threads with a pending SSB-flush transaction, so
+	// the per-access HTM conflict scan can be skipped entirely in the
+	// common case of no transaction in flight.
+	activeTxns int
+
+	// progGen increments on every SetProgram, so the batch loop can tell
+	// when a callback (repair fallback via OnAliasMiss) hot-swapped the
+	// code out from under its hoisted instruction slice.
+	progGen uint64
+
+	// hitmPCs accumulates per-PC HITM counts in a flat open-addressed
+	// table on the hot path; finishStats materializes it into the public
+	// Stats.HITMByPC map. A contended workload takes a HITM every few
+	// instructions, and a Go map assign there is measurably expensive.
+	hitmPCs pcCounts
+
 	stats Stats
+}
+
+// pcCounts is a small open-addressed PC→count table. Workloads have few
+// distinct contended PCs, so it stays tiny and probe chains stay short.
+// Address 0 is the empty-slot sentinel; no simulated PC is ever 0 (text
+// regions start at mem.AppTextBase/mem.LibTextBase).
+type pcCounts struct {
+	keys   []mem.Addr
+	counts []uint64
+	used   int
+}
+
+func (p *pcCounts) bump(pc mem.Addr) {
+	if p.keys == nil {
+		p.keys = make([]mem.Addr, 64)
+		p.counts = make([]uint64, 64)
+	}
+	mask := uint64(len(p.keys) - 1)
+	i := (uint64(pc) * 0x9e3779b97f4a7c15 >> 32) & mask
+	for {
+		switch p.keys[i] {
+		case pc:
+			p.counts[i]++
+			return
+		case 0:
+			if 4*(p.used+1) > 3*len(p.keys) {
+				p.grow()
+				p.bump(pc)
+				return
+			}
+			p.keys[i] = pc
+			p.counts[i] = 1
+			p.used++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (p *pcCounts) grow() {
+	keys, counts := p.keys, p.counts
+	p.keys = make([]mem.Addr, 2*len(keys))
+	p.counts = make([]uint64, 2*len(counts))
+	mask := uint64(len(p.keys) - 1)
+	for j, k := range keys {
+		if k == 0 {
+			continue
+		}
+		i := (uint64(k) * 0x9e3779b97f4a7c15 >> 32) & mask
+		for p.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		p.keys[i] = k
+		p.counts[i] = counts[j]
+	}
+}
+
+func (p *pcCounts) fill(dst map[mem.Addr]uint64) {
+	clear(dst)
+	for i, k := range p.keys {
+		if k != 0 {
+			dst[k] = p.counts[i]
+		}
+	}
 }
 
 // New creates a machine running prog with the given threads. Thread i is
@@ -190,6 +286,13 @@ func New(prog *isa.Program, cfg Config, specs []ThreadSpec) *Machine {
 	for c := range m.quantumEnd {
 		m.quantumEnd[c] = cfg.Quantum
 	}
+	m.curThread = make([]*thread, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		if len(m.runq[c]) > 0 {
+			m.active = append(m.active, c)
+			m.curThread[c] = m.threads[m.runq[c][m.cur[c]]]
+		}
+	}
 	return m
 }
 
@@ -216,7 +319,10 @@ func (m *Machine) SetProgram(p *isa.Program, remap func(int) int) {
 			m.applySSB(t, t.id%m.cfg.Cores)
 			t.ssb.Clear()
 		}
-		t.txn = nil
+		if t.txn != nil {
+			t.txn = nil
+			m.activeTxns--
+		}
 		if !t.halted {
 			t.pc = remap(t.pc)
 		}
@@ -225,10 +331,16 @@ func (m *Machine) SetProgram(p *isa.Program, remap func(int) int) {
 		}
 	}
 	m.prog = p
+	m.progGen++
 }
 
 // Stats returns the statistics collected so far.
 func (m *Machine) Stats() *Stats { return &m.stats }
+
+// CheckCoherence verifies the MESI invariants of the machine's coherence
+// directory (see coherence.Model.CheckInvariants). Equivalence tests call
+// it after a run.
+func (m *Machine) CheckCoherence() error { return m.coh.CheckInvariants() }
 
 // Run executes until every thread halts, or the cycle cap is hit.
 func (m *Machine) Run() (*Stats, error) {
@@ -240,6 +352,14 @@ func (m *Machine) Run() (*Stats, error) {
 // target or all threads halt; it returns done=true in the latter case.
 // The LASER harness interleaves RunFor slices with detector polling and
 // online repair (§6). Stats are refreshed on every return.
+//
+// Scheduling is exact lowest-clock-first (ties to the lowest core id), but
+// the cost of deciding who runs is amortized: once a core is picked it
+// retires a batch of instructions for as long as it provably remains the
+// pick — bounded by the next core's clock, its quantum end, the cycle cap
+// and target — instead of re-running the scan per instruction. The
+// resulting execution order, and therefore every statistic, is identical
+// to the one-instruction-at-a-time schedule.
 func (m *Machine) RunFor(target uint64) (bool, error) {
 	live := 0
 	for _, t := range m.threads {
@@ -248,7 +368,7 @@ func (m *Machine) RunFor(target uint64) (bool, error) {
 		}
 	}
 	for live > 0 {
-		c := m.pickCore()
+		c, limit := m.pickCoreAndLimit(target)
 		if c < 0 {
 			break
 		}
@@ -260,7 +380,7 @@ func (m *Machine) RunFor(target uint64) (bool, error) {
 			m.finishStats()
 			return false, ErrTimeout
 		}
-		t := m.threads[m.runq[c][m.cur[c]]]
+		t := m.curThread[c]
 		// Resolve a pending SSB-flush transaction whose window elapsed.
 		if t.txn != nil && m.clock[c] >= t.txn.end {
 			m.resolveTxn(t, c)
@@ -271,9 +391,25 @@ func (m *Machine) RunFor(target uint64) (bool, error) {
 			m.clock[c] = t.txn.end
 			continue
 		}
-		m.step(t, c)
-		if t.halted {
-			m.removeThread(c, t.id)
+		// Batch: core c stays the pick while its clock is under limit, so
+		// it can retire instructions back to back. Beyond the limit it may
+		// still run ahead through purely thread-local instructions (ALU,
+		// branches, ...): those commute with everything other cores do, so
+		// executing them early cannot change any observable — the core
+		// yields before its next shared-memory operation, which therefore
+		// still happens at exactly the serial schedule's clock and order.
+		// The hard bounds (target, cycle cap, quantum end) always stop the
+		// batch: crossing them has side effects (detector polls, repair
+		// hot-swaps, context switches) that must not be reordered.
+		// Starting a transaction or halting hands control back too.
+		hard := target
+		if m.cfg.MaxCycles+1 < hard {
+			hard = m.cfg.MaxCycles + 1
+		}
+		if len(m.runq[c]) > 1 && m.quantumEnd[c] < hard {
+			hard = m.quantumEnd[c]
+		}
+		if m.runBatch(t, c, limit, hard) {
 			live--
 			continue
 		}
@@ -286,7 +422,66 @@ func (m *Machine) RunFor(target uint64) (bool, error) {
 	return true, nil
 }
 
+// opLocal marks the opcodes that touch only thread-local state (registers,
+// pc, call stack, the core clock and global counters that are pure sums) —
+// never shared memory, the coherence directory, the SSB/txn machinery or a
+// probe. Only these may retire past the batch limit during run-ahead.
+var opLocal = [...]bool{
+	isa.OpNop:        true,
+	isa.OpMovImm:     true,
+	isa.OpMov:        true,
+	isa.OpALU:        true,
+	isa.OpBranch:     true,
+	isa.OpJump:       true,
+	isa.OpCall:       true,
+	isa.OpRet:        true,
+	isa.OpPause:      true,
+	isa.OpIO:         true,
+	isa.OpAliasCheck: false,
+	isa.OpSSBFlush:   false,
+}
+
+// pickCoreAndLimit scans the active cores once and returns both the
+// scheduler's pick — the core with the lowest clock, ties to the lowest
+// id — and the clock bound under which that core is guaranteed to remain
+// the pick: the strictest of the other live cores' clocks (respecting the
+// tie-break), the pick's quantum end when it hosts several threads, the
+// run target and the cycle cap. The batch loop re-enters the scheduler
+// once the pick's clock reaches the bound.
+func (m *Machine) pickCoreAndLimit(target uint64) (int, uint64) {
+	best, bestClock, bound := -1, ^uint64(0), ^uint64(0)
+	for _, c := range m.active {
+		ck := m.clock[c]
+		if ck < bestClock {
+			if best >= 0 && bestClock < bound {
+				// The dethroned best has a lower id than c, so it takes
+				// the core back as soon as c's clock reaches its own.
+				bound = bestClock
+			}
+			best, bestClock = c, ck
+		} else if ck+1 < bound {
+			// c has a higher id than the current best (active is in core
+			// order), so the best keeps winning ties against it.
+			bound = ck + 1
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	if target < bound {
+		bound = target
+	}
+	if m.cfg.MaxCycles+1 < bound {
+		bound = m.cfg.MaxCycles + 1
+	}
+	if len(m.runq[best]) > 1 && m.quantumEnd[best] < bound {
+		bound = m.quantumEnd[best]
+	}
+	return best, bound
+}
+
 func (m *Machine) finishStats() {
+	m.hitmPCs.fill(m.stats.HITMByPC)
 	copy(m.stats.CoreCycles, m.clock)
 	m.stats.Cycles = 0
 	for _, c := range m.clock {
@@ -298,31 +493,34 @@ func (m *Machine) finishStats() {
 	m.stats.HITMStores = m.coh.Counts[coherence.HITMStore]
 }
 
-// pickCore returns the core with the lowest clock that has a runnable
-// thread, or -1 if none remain.
-func (m *Machine) pickCore() int {
-	best, bestClock := -1, ^uint64(0)
-	for c := 0; c < m.cfg.Cores; c++ {
-		if len(m.runq[c]) == 0 {
-			continue
-		}
-		if m.clock[c] < bestClock {
-			best, bestClock = c, m.clock[c]
-		}
-	}
-	return best
-}
-
 func (m *Machine) removeThread(c, tid int) {
 	q := m.runq[c]
 	for i, id := range q {
-		if id == tid {
-			m.runq[c] = append(q[:i], q[i+1:]...)
-			if m.cur[c] >= len(m.runq[c]) {
-				m.cur[c] = 0
-			}
-			return
+		if id != tid {
+			continue
 		}
+		m.runq[c] = append(q[:i], q[i+1:]...)
+		// Keep cur pointing at the same logical position: a removal
+		// before it shifts the remaining threads down one slot; without
+		// the decrement the next scheduled thread's turn is skipped.
+		if i < m.cur[c] {
+			m.cur[c]--
+		}
+		if m.cur[c] >= len(m.runq[c]) {
+			m.cur[c] = 0
+		}
+		if len(m.runq[c]) == 0 {
+			m.curThread[c] = nil
+			for j, a := range m.active {
+				if a == c {
+					m.active = append(m.active[:j], m.active[j+1:]...)
+					break
+				}
+			}
+		} else {
+			m.curThread[c] = m.threads[m.runq[c][m.cur[c]]]
+		}
+		return
 	}
 }
 
@@ -330,6 +528,7 @@ func (m *Machine) switchThread(c int) {
 	from := m.runq[c][m.cur[c]]
 	m.cur[c] = (m.cur[c] + 1) % len(m.runq[c])
 	to := m.runq[c][m.cur[c]]
+	m.curThread[c] = m.threads[to]
 	m.clock[c] += CostContextSwitch
 	m.stats.ContextSwitches++
 	if m.cfg.Probe != nil {
@@ -340,104 +539,177 @@ func (m *Machine) switchThread(c int) {
 	m.quantumEnd[c] = m.clock[c] + m.cfg.Quantum
 }
 
-// step executes one instruction of t on core c.
-func (m *Machine) step(t *thread, c int) {
-	in := &m.prog.Instrs[t.pc]
-	m.stats.Instructions++
-	cost := m.cfg.ExtraInstrCycles
-	next := t.pc + 1
+// runBatch retires instructions of t on core c until the batch expires:
+// the thread halts (returns true, with the thread removed from its queue),
+// it starts an SSB-flush transaction, its clock reaches hard, or its clock
+// reaches limit with a non-local instruction up next (see RunFor). The
+// interpreter dispatch lives directly in this loop — one call per batch,
+// not per instruction, with the instruction fetch, clock slot and config
+// dilations held in locals.
+func (m *Machine) runBatch(t *thread, c int, limit, hard uint64) bool {
+	instrs := m.prog.Instrs
+	gen := m.progGen
+	clk := &m.clock[c]
+	extraInstr := m.cfg.ExtraInstrCycles
+	extraLoad := m.cfg.ExtraLoadCycles
+	priv := m.cfg.PrivateMemory
+	steps := uint64(0)
+	for {
+		in := &instrs[t.pc]
+		steps++
+		cost := extraInstr
+		next := t.pc + 1
 
-	switch in.Op {
-	case isa.OpNop:
-		cost += CostNop
-	case isa.OpMovImm:
-		t.regs[in.Rd] = in.Imm
-		cost += CostALU
-	case isa.OpMov:
-		t.regs[in.Rd] = t.regs[in.Rs1]
-		cost += CostALU
-	case isa.OpALU:
-		b := t.regs[in.Rs2]
-		if in.UseImm {
-			b = in.Imm
-		}
-		t.regs[in.Rd] = aluOp(in.ALU, t.regs[in.Rs1], b)
-		cost += CostALU
-	case isa.OpLoad:
-		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
-		v, cc := m.memLoad(t, c, in, addr)
-		t.regs[in.Rd] = int64(v)
-		cost += cc + m.cfg.ExtraLoadCycles
-	case isa.OpStore:
-		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
-		v := uint64(t.regs[in.Rs2])
-		if in.UseImm {
-			addr = mem.Addr(t.regs[in.Rs1])
-			v = uint64(in.Imm)
-		}
-		cost += m.memStore(t, c, in, addr, v)
-	case isa.OpBranch:
-		b := t.regs[in.Rs2]
-		if in.UseImm {
-			b = in.Imm
-		}
-		if condHolds(in.Cond, t.regs[in.Rs1], b) {
+		switch in.Op {
+		case isa.OpNop:
+			cost += CostNop
+		case isa.OpMovImm:
+			t.regs[in.Rd] = in.Imm
+			cost += CostALU
+		case isa.OpMov:
+			t.regs[in.Rd] = t.regs[in.Rs1]
+			cost += CostALU
+		case isa.OpALU:
+			b := t.regs[in.Rs2]
+			if in.UseImm {
+				b = in.Imm
+			}
+			t.regs[in.Rd] = aluOp(in.ALU, t.regs[in.Rs1], b)
+			cost += CostALU
+		case isa.OpLoad:
+			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+			if !priv {
+				// Common path: the access() body inline, without the
+				// memLoad and access wrapper frames.
+				m.stats.MemAccesses++
+				res := m.coh.Access(c, addr, false)
+				if m.activeTxns > 0 {
+					m.abortConflictingTxns(t, addr)
+				}
+				if res.Result.IsHITM() {
+					m.noteHITM(t, c, in, addr, false, res)
+				}
+				cost += costTable[res.Result&7] + extraLoad
+				// Aligned 8-byte read on the cached page, inline; every
+				// other shape takes the general loader.
+				if off := uint64(addr) & (pageSize - 1); in.Size == 8 &&
+					off <= pageSize-8 && uint64(addr)>>pageShift == m.data.lastPageNo {
+					t.regs[in.Rd] = int64(binary.LittleEndian.Uint64(m.data.lastPage[off:]))
+				} else {
+					t.regs[in.Rd] = int64(m.data.load(addr, in.Size))
+				}
+			} else {
+				v, cc := m.memLoad(t, c, in, addr)
+				t.regs[in.Rd] = int64(v)
+				cost += cc + extraLoad
+			}
+		case isa.OpStore:
+			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+			v := uint64(t.regs[in.Rs2])
+			if in.UseImm {
+				addr = mem.Addr(t.regs[in.Rs1])
+				v = uint64(in.Imm)
+			}
+			if !priv {
+				m.stats.MemAccesses++
+				res := m.coh.Access(c, addr, true)
+				if m.activeTxns > 0 {
+					m.abortConflictingTxns(t, addr)
+				}
+				if res.Result.IsHITM() {
+					m.noteHITM(t, c, in, addr, true, res)
+				}
+				cost += costTable[res.Result&7]
+				if off := uint64(addr) & (pageSize - 1); in.Size == 8 &&
+					off <= pageSize-8 && uint64(addr)>>pageShift == m.data.lastPageNo {
+					binary.LittleEndian.PutUint64(m.data.lastPage[off:], v)
+				} else {
+					m.data.store(addr, in.Size, v)
+				}
+			} else {
+				cost += m.memStore(t, c, in, addr, v)
+			}
+		case isa.OpBranch:
+			b := t.regs[in.Rs2]
+			if in.UseImm {
+				b = in.Imm
+			}
+			if condHolds(in.Cond, t.regs[in.Rs1], b) {
+				next = in.Target
+			}
+			cost += CostBranch
+		case isa.OpJump:
 			next = in.Target
+			cost += CostBranch
+		case isa.OpCall:
+			t.callStack = append(t.callStack, t.pc+1)
+			next = in.Target
+			cost += CostCall
+		case isa.OpRet:
+			if len(t.callStack) == 0 {
+				panic(fmt.Sprintf("machine: ret with empty call stack at %d", t.pc))
+			}
+			next = t.callStack[len(t.callStack)-1]
+			t.callStack = t.callStack[:len(t.callStack)-1]
+			cost += CostRet
+		case isa.OpCAS:
+			cost += m.execCAS(t, c, in)
+		case isa.OpFetchAdd:
+			cost += m.execFetchAdd(t, c, in)
+		case isa.OpFence:
+			cost += CostFence
+			cost += m.fencePoint(t, c)
+		case isa.OpPause:
+			cost += CostPause
+		case isa.OpIO:
+			cost += uint64(in.Imm)
+		case isa.OpHalt:
+			cost += m.fencePoint(t, c) // make buffered state visible at exit
+			t.halted = true
+		case isa.OpSSBLoad:
+			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+			v, cc := m.ssbLoad(t, c, in, addr)
+			t.regs[in.Rd] = int64(v)
+			cost += cc + extraLoad
+		case isa.OpSSBStore:
+			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+			v := uint64(t.regs[in.Rs2])
+			if in.UseImm {
+				addr = mem.Addr(t.regs[in.Rs1])
+				v = uint64(in.Imm)
+			}
+			cost += m.ssbStore(t, c, in, addr, v)
+		case isa.OpSSBFlush:
+			cost += m.startFlush(t, c)
+		case isa.OpAliasCheck:
+			cost += m.execAliasCheck(t, c, in)
+		default:
+			panic(fmt.Sprintf("machine: unknown opcode %v at %d", in.Op, t.pc))
 		}
-		cost += CostBranch
-	case isa.OpJump:
-		next = in.Target
-		cost += CostBranch
-	case isa.OpCall:
-		t.callStack = append(t.callStack, t.pc+1)
-		next = in.Target
-		cost += CostCall
-	case isa.OpRet:
-		if len(t.callStack) == 0 {
-			panic(fmt.Sprintf("machine: ret with empty call stack at %d", t.pc))
-		}
-		next = t.callStack[len(t.callStack)-1]
-		t.callStack = t.callStack[:len(t.callStack)-1]
-		cost += CostRet
-	case isa.OpCAS:
-		cost += m.execCAS(t, c, in)
-	case isa.OpFetchAdd:
-		cost += m.execFetchAdd(t, c, in)
-	case isa.OpFence:
-		cost += CostFence
-		cost += m.fencePoint(t, c)
-	case isa.OpPause:
-		cost += CostPause
-	case isa.OpIO:
-		cost += uint64(in.Imm)
-	case isa.OpHalt:
-		cost += m.fencePoint(t, c) // make buffered state visible at exit
-		t.halted = true
-	case isa.OpSSBLoad:
-		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
-		v, cc := m.ssbLoad(t, c, in, addr)
-		t.regs[in.Rd] = int64(v)
-		cost += cc + m.cfg.ExtraLoadCycles
-	case isa.OpSSBStore:
-		addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
-		v := uint64(t.regs[in.Rs2])
-		if in.UseImm {
-			addr = mem.Addr(t.regs[in.Rs1])
-			v = uint64(in.Imm)
-		}
-		cost += m.ssbStore(t, c, in, addr, v)
-	case isa.OpSSBFlush:
-		cost += m.startFlush(t, c)
-	case isa.OpAliasCheck:
-		cost += m.execAliasCheck(t, c, in)
-	default:
-		panic(fmt.Sprintf("machine: unknown opcode %v at %d", in.Op, t.pc))
-	}
 
-	if !t.halted {
+		*clk += cost
+		if t.halted {
+			m.stats.Instructions += steps
+			m.removeThread(c, t.id)
+			return true
+		}
 		t.pc = next
+		if t.txn != nil {
+			break
+		}
+		if m.progGen != gen {
+			// A callback hot-swapped the program (and remapped pcs).
+			instrs = m.prog.Instrs
+			gen = m.progGen
+		}
+		if ck := *clk; ck >= limit {
+			if ck >= hard || !opLocal[instrs[t.pc].Op] {
+				break
+			}
+		}
 	}
-	m.clock[c] += cost
+	m.stats.Instructions += steps
+	return false
 }
 
 func aluOp(k isa.ALUKind, a, b int64) int64 {

@@ -1,37 +1,113 @@
 package machine
 
-import "repro/internal/mem"
+import (
+	"encoding/binary"
 
-const pageSize = 4096
+	"repro/internal/mem"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+
+	// The page index is two-level: the high bits of the page number pick a
+	// chunk (via a small map), the low chunkBits pick the page within it.
+	// One chunk spans 4 MiB of address space, so each canonical region
+	// (heap, per-thread stacks, text) lands in a handful of chunks and the
+	// chunk cache below almost always hits.
+	chunkBits = 10
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+type pageChunk [chunkSize]*[pageSize]byte
 
 // memory is the sparse byte-addressed backing store of the simulated
 // machine. Pages are allocated on first touch; unmapped reads return
 // zeroes, matching anonymous mappings.
+//
+// Lookup is a last-page cache, then a last-chunk cache, then the two-level
+// index — the common load/store never touches the chunk map.
 type memory struct {
-	pages map[uint64]*[pageSize]byte
+	chunks map[uint64]*pageChunk
+
+	// Two-entry page cache: threads alternate between a working-set page
+	// and a shared page (or data and stack), so one entry thrashes.
+	lastPageNo  uint64
+	lastPage    *[pageSize]byte
+	prevPageNo  uint64
+	prevPage    *[pageSize]byte
+	lastChunkNo uint64
+	lastChunk   *pageChunk
 }
 
 func newMemory() *memory {
-	return &memory{pages: make(map[uint64]*[pageSize]byte)}
+	return &memory{
+		chunks:      make(map[uint64]*pageChunk),
+		lastPageNo:  ^uint64(0),
+		prevPageNo:  ^uint64(0),
+		lastChunkNo: ^uint64(0),
+	}
 }
 
+// page resolves the page containing a, allocating it (and its chunk) on
+// first touch when create is set; without create, unmapped pages are nil.
 func (m *memory) page(a mem.Addr, create bool) *[pageSize]byte {
-	key := uint64(a) / pageSize
-	p := m.pages[key]
-	if p == nil && create {
-		p = new([pageSize]byte)
-		m.pages[key] = p
+	pn := uint64(a) >> pageShift
+	if pn == m.lastPageNo {
+		return m.lastPage
 	}
+	if pn == m.prevPageNo {
+		m.prevPageNo, m.lastPageNo = m.lastPageNo, m.prevPageNo
+		m.prevPage, m.lastPage = m.lastPage, m.prevPage
+		return m.lastPage
+	}
+	cn := pn >> chunkBits
+	ch := m.lastChunk
+	if cn != m.lastChunkNo {
+		ch = m.chunks[cn]
+		if ch == nil {
+			if !create {
+				return nil
+			}
+			ch = new(pageChunk)
+			m.chunks[cn] = ch
+		}
+		m.lastChunkNo = cn
+		m.lastChunk = ch
+	}
+	p := ch[pn&chunkMask]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new([pageSize]byte)
+		ch[pn&chunkMask] = p
+	}
+	m.prevPageNo, m.prevPage = m.lastPageNo, m.lastPage
+	m.lastPageNo, m.lastPage = pn, p
 	return p
 }
 
 // load reads size bytes (1, 2, 4 or 8) little-endian, zero-extended.
 func (m *memory) load(a mem.Addr, size uint8) uint64 {
-	off := uint64(a) % pageSize
+	off := uint64(a) & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		p := m.page(a, false)
-		if p == nil {
+		var p *[pageSize]byte
+		if uint64(a)>>pageShift == m.lastPageNo {
+			p = m.lastPage // skip even the page() call
+		} else if p = m.page(a, false); p == nil {
 			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 1:
+			return uint64(p[off])
 		}
 		var v uint64
 		for i := uint8(0); i < size; i++ {
@@ -52,16 +128,32 @@ func (m *memory) loadByte(a mem.Addr) byte {
 	if p == nil {
 		return 0
 	}
-	return p[uint64(a)%pageSize]
+	return p[uint64(a)&(pageSize-1)]
 }
 
 // store writes size bytes little-endian.
 func (m *memory) store(a mem.Addr, size uint8, v uint64) {
-	off := uint64(a) % pageSize
+	off := uint64(a) & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		p := m.page(a, true)
-		for i := uint8(0); i < size; i++ {
-			p[off+uint64(i)] = byte(v >> (8 * i))
+		var p *[pageSize]byte
+		if uint64(a)>>pageShift == m.lastPageNo {
+			p = m.lastPage
+		} else {
+			p = m.page(a, true)
+		}
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		case 1:
+			p[off] = byte(v)
+		default:
+			for i := uint8(0); i < size; i++ {
+				p[off+uint64(i)] = byte(v >> (8 * i))
+			}
 		}
 		return
 	}
@@ -71,5 +163,5 @@ func (m *memory) store(a mem.Addr, size uint8, v uint64) {
 }
 
 func (m *memory) storeByte(a mem.Addr, b byte) {
-	m.page(a, true)[uint64(a)%pageSize] = b
+	m.page(a, true)[uint64(a)&(pageSize-1)] = b
 }

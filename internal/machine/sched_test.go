@@ -1,0 +1,184 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// contendedProg builds a finite 4-thread workload mixing private traffic
+// with a falsely shared line — the pattern the batching scheduler must
+// replay exactly like the one-instruction-at-a-time schedule.
+func contendedProg(iters int64) (*isa.Program, []ThreadSpec) {
+	b := isa.NewBuilder().At("contended.c", 1)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Label("loop")
+	b.AluI(isa.And, 4, 1, 63)
+	b.AluI(isa.Shl, 4, 4, 3)
+	b.Add(4, 4, 2)
+	b.Load(5, 4, 0, 8)
+	b.Add(5, 5, 1)
+	b.Store(4, 0, 5, 8)
+	b.Store(0, 0, 1, 8)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, iters, "loop")
+	b.Halt()
+	prog := b.Build()
+	specs := make([]ThreadSpec, 4)
+	for i := range specs {
+		specs[i] = ThreadSpec{
+			Regs: map[isa.Reg]int64{
+				0: int64(mem.HeapBase + mem.Addr(i*8)),
+				2: int64(mem.HeapBase + 0x10000 + mem.Addr(i)<<12),
+			},
+		}
+	}
+	return prog, specs
+}
+
+// TestContendedRunDeterministic runs the same contended workload twice and
+// demands bit-identical statistics — cycles, HITM counts and the per-PC
+// HITM ground truth — plus clean coherence invariants at exit. Any
+// divergence would mean the batching scheduler reordered an observable.
+func TestContendedRunDeterministic(t *testing.T) {
+	run := func() *Stats {
+		prog, specs := contendedProg(4000)
+		m := New(prog, Config{Cores: 4}, specs)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckCoherence(); err != nil {
+			t.Fatalf("coherence invariants: %v", err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Errorf("cycles/instructions differ: %d/%d vs %d/%d",
+			a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+	if a.HITMLoads != b.HITMLoads || a.HITMStores != b.HITMStores {
+		t.Errorf("HITM counts differ: %d/%d vs %d/%d",
+			a.HITMLoads, a.HITMStores, b.HITMLoads, b.HITMStores)
+	}
+	if !reflect.DeepEqual(a.HITMByPC, b.HITMByPC) {
+		t.Errorf("HITMByPC differs: %v vs %v", a.HITMByPC, b.HITMByPC)
+	}
+	if a.HITMs() == 0 {
+		t.Error("workload produced no contention at all")
+	}
+}
+
+// TestRunForSliceInvariance checks that chopping a run into many RunFor
+// slices yields exactly the stats of one uninterrupted run — the property
+// the LASER polling harness depends on, and the one the batch limit's
+// target bound must preserve.
+func TestRunForSliceInvariance(t *testing.T) {
+	prog, specs := contendedProg(2000)
+	whole := New(prog, Config{Cores: 4}, specs)
+	wst, err := whole.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced := New(prog, Config{Cores: 4}, specs)
+	var target uint64
+	for {
+		target += 10_000
+		done, err := sliced.RunFor(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	sst := sliced.Stats()
+	if wst.Cycles != sst.Cycles || wst.Instructions != sst.Instructions ||
+		wst.HITMLoads != sst.HITMLoads || wst.HITMStores != sst.HITMStores {
+		t.Errorf("sliced run diverged: %+v vs %+v", wst, sst)
+	}
+	if !reflect.DeepEqual(wst.HITMByPC, sst.HITMByPC) {
+		t.Errorf("sliced HITMByPC differs")
+	}
+}
+
+// TestRemoveThreadBeforeCurrent is the regression test for the cur-index
+// bug: removing a thread that sits earlier in the run queue than the
+// currently scheduled one must shift cur down with it, or the next
+// scheduled thread silently loses its turn.
+func TestRemoveThreadBeforeCurrent(t *testing.T) {
+	b := isa.NewBuilder().At("rq.c", 1)
+	b.Func("w")
+	b.Halt()
+	prog := b.Build()
+	// Three threads share core 0.
+	specs := []ThreadSpec{{}, {}, {}}
+	m := New(prog, Config{Cores: 1}, specs)
+	m.cur[0] = 2
+	m.curThread[0] = m.threads[2]
+	m.removeThread(0, 0)
+	if got := m.runq[0]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("runq after removal = %v, want [1 2]", got)
+	}
+	if m.cur[0] != 1 {
+		t.Errorf("cur = %d after removing earlier thread, want 1", m.cur[0])
+	}
+	if m.curThread[0] != m.threads[2] {
+		t.Errorf("curThread no longer points at the scheduled thread")
+	}
+	// Removing the current (last) thread wraps cur back to a valid index.
+	m.removeThread(0, 2)
+	if m.cur[0] != 0 || m.curThread[0] != m.threads[1] {
+		t.Errorf("cur/curThread = %d/%v after removing current tail", m.cur[0], m.curThread[0])
+	}
+	// Core leaves the active list only when its queue empties.
+	if len(m.active) != 1 {
+		t.Fatalf("active = %v, want core 0 still active", m.active)
+	}
+	m.removeThread(0, 1)
+	if len(m.active) != 0 {
+		t.Errorf("active = %v after last thread, want empty", m.active)
+	}
+}
+
+// TestMultiThreadPerCoreCompletion runs more threads than cores with
+// staggered exits so quantum switches and thread removals interleave; all
+// work must complete exactly once.
+func TestMultiThreadPerCoreCompletion(t *testing.T) {
+	const threads = 6
+	b := isa.NewBuilder().At("stagger.c", 1)
+	b.Func("w")
+	b.Li(1, 0)
+	b.Label("loop")
+	b.Load(5, 0, 0, 8)
+	b.Add(5, 5, 3)
+	b.Store(0, 0, 5, 8)
+	b.AddI(1, 1, 1)
+	b.Branch(isa.Lt, 1, 2, "loop") // r2 holds the per-thread iteration count
+	b.Halt()
+	prog := b.Build()
+	specs := make([]ThreadSpec, threads)
+	for i := range specs {
+		specs[i] = ThreadSpec{
+			Regs: map[isa.Reg]int64{
+				0: int64(mem.HeapBase + 0x2000 + mem.Addr(i*8)),
+				2: int64(1000 + 500*i), // staggered lifetimes
+				3: 1,
+			},
+		}
+	}
+	m := New(prog, Config{Cores: 2, Quantum: 512}, specs)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < threads; i++ {
+		want := uint64(1000 + 500*i)
+		if got := m.ReadData(mem.HeapBase+0x2000+mem.Addr(i*8), 8); got != want {
+			t.Errorf("thread %d counter = %d, want %d", i, got, want)
+		}
+	}
+}

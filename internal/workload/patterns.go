@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/isa"
 )
@@ -19,12 +20,15 @@ const (
 	regAux isa.Reg = 25
 )
 
-var patternSeq int
+// patternSeq is atomic because the experiment harness builds independent
+// workload images concurrently. Label names only need to be unique, not
+// reproducible: they never reach a report or affect the built program's
+// semantics.
+var patternSeq atomic.Int64
 
 // uniqueLabel generates a program-wide unique label.
 func uniqueLabel(stem string) string {
-	patternSeq++
-	return fmt.Sprintf("%s_%d", stem, patternSeq)
+	return fmt.Sprintf("%s_%d", stem, patternSeq.Add(1))
 }
 
 // kernel describes one iteration of a private compute loop: how many
