@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	characterize [-cases]
+//	characterize [-cases] [-cat TSRW|FSRW|TSWW|FSWW]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 
 func main() {
 	showCases := flag.Bool("cases", false, "print every test case, not just category summaries")
+	cat := flag.String("cat", "", "restrict per-case output to one category (TSRW, FSRW, TSWW, FSWW)")
 	flag.Parse()
 
 	cases, sums, err := experiments.RunFigure3()
@@ -25,10 +26,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
 	}
-	if *showCases {
+	if *showCases || *cat != "" {
 		fmt.Printf("%-6s %-7s %10s %10s %10s %8s\n",
 			"cat", "variant", "addr-ok%", "pc-exact%", "pc-adj%", "records")
 		for _, c := range cases {
+			if *cat != "" && string(c.Category) != *cat {
+				continue
+			}
 			fmt.Printf("%-6s %-7d %10.1f %10.1f %10.1f %8d\n",
 				c.Category, c.Variant, 100*c.AddrOK, 100*c.PCExact, 100*c.PCAdjacent, c.Records)
 		}

@@ -1,11 +1,14 @@
 // Command laser runs the LASER system (detection + online repair) around
 // one of the paper's workloads on the simulated machine and prints the
 // contention report — the reproduction's equivalent of
-// "laser ./benchmark" on the paper's Haswell box.
+// "laser ./benchmark" on the paper's Haswell box. It drives a monitoring
+// Session: -trace streams the monitor's events as they happen, and
+// -epochs lets LASERREPAIR re-arm for multiple detect→repair passes.
 //
 // Usage:
 //
-//	laser [-scale N] [-sav N] [-threshold HITMs/s] [-norepair] [-list] <workload>
+//	laser [-scale N] [-sav N] [-threshold HITMs/s] [-norepair]
+//	      [-epochs N] [-trace] [-list] <workload>
 package main
 
 import (
@@ -22,6 +25,8 @@ func main() {
 	sav := flag.Int("sav", 19, "PEBS sample-after value")
 	threshold := flag.Float64("threshold", 1000, "report rate threshold in HITMs/s")
 	noRepair := flag.Bool("norepair", false, "disable LASERREPAIR")
+	epochs := flag.Int("epochs", 1, "max detect→repair epochs (1 = the paper's one-shot pass)")
+	trace := flag.Bool("trace", false, "stream monitoring events to stderr as they happen")
 	list := flag.Bool("list", false, "list available workloads")
 	flag.Parse()
 
@@ -41,13 +46,35 @@ func main() {
 	}
 	name := flag.Arg(0)
 
-	cfg := laser.DefaultConfig()
-	cfg.PEBS.SAV = *sav
-	cfg.Detector.SAV = *sav
-	cfg.Detector.RateThreshold = *threshold
-	cfg.EnableRepair = !*noRepair
+	w, ok := workload.Get(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "laser: unknown workload %q\n", name)
+		os.Exit(1)
+	}
+	img := w.Build(workload.Options{Scale: *scale, HeapBias: laser.AttachBias})
 
-	res, err := laser.RunByName(name, workload.Options{Scale: *scale}, cfg)
+	opts := []laser.Option{
+		laser.WithSAV(*sav),
+		laser.WithRateThreshold(*threshold),
+		laser.WithRepair(!*noRepair),
+		laser.WithMaxEpochs(*epochs),
+		// -epochs 1 reproduces the paper's one-shot pass exactly,
+		// including its frozen-at-repair exit report; multi-epoch runs
+		// keep the report live across repairs.
+		laser.WithPostRepairMonitoring(*epochs > 1),
+	}
+	if *trace {
+		opts = append(opts, laser.WithObserver(func(e laser.Event) {
+			fmt.Fprintln(os.Stderr, e)
+		}))
+	}
+	s, err := laser.Attach(img, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laser:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	res, err := s.Wait()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "laser:", err)
 		os.Exit(1)
@@ -64,6 +91,20 @@ func main() {
 		fmt.Printf("LASERREPAIR: triggered but declined: %v\n", res.RepairErr)
 	default:
 		fmt.Println("LASERREPAIR: not triggered")
+	}
+	if len(res.Epochs) > 1 {
+		fmt.Printf("epochs: %d detection epochs", len(res.Epochs))
+		repaired := 0
+		for _, ep := range res.Epochs {
+			if ep.Repaired {
+				repaired++
+			}
+		}
+		fmt.Printf(" (%d ended in a repair)\n", repaired)
+		for _, ep := range res.Epochs {
+			fmt.Printf("  epoch %d: %.2f ms, %d driver records, %d report lines, repaired=%v\n",
+				ep.Epoch, ep.Seconds*1e3, ep.Driver.Records, len(ep.Report.Lines), ep.Repaired)
+		}
 	}
 	fmt.Println()
 	fmt.Print(res.Report.Render())

@@ -72,6 +72,10 @@ func main() {
 		fmt.Println(experiments.RenderFigure10(rows))
 	}
 	if all || want["fig11"] {
+		if *pscale < 0.5 {
+			fmt.Fprintf(os.Stderr, "laserbench: note: -pscale %g is below ~0.5, the online-repair "+
+				"trigger may not fire; affected Figure 11 rows will be marked explicitly\n", *pscale)
+		}
 		rows, err := experiments.RunFigure11(cfg)
 		if err != nil {
 			fail(err)

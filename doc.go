@@ -12,9 +12,19 @@
 // LASERDETECT/LASERREPAIR pipelines, VTune- and Sheriff-like baselines, and
 // the Phoenix/Parsec/Splash2x workloads as synthetic programs.
 //
-// Start with package laser (the public API), DESIGN.md (system inventory)
-// and EXPERIMENTS.md (paper-versus-measured results). The benchmarks in
-// bench_test.go regenerate every table and figure of the paper's evaluation.
+// The public API is package laser's Session: laser.Attach wires the
+// paper's Figure 8 three-process architecture around a workload image
+// and hands back a long-lived, observable monitor — functional options
+// configure it, Step/RunFor/Run/Wait drive it (context-aware), Snapshot
+// reports at any moment, Events streams typed monitoring events, and
+// detection runs multiple detect→repair epochs by remapping
+// post-rewrite PCs back to the original program. laser.Run and friends
+// remain as one-shot convenience wrappers over a pinned session.
+//
+// Start with package laser, DESIGN.md (system inventory and the Session
+// architecture) and EXPERIMENTS.md (paper-versus-measured results). The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation.
 //
 // # Performance
 //

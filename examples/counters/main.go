@@ -1,25 +1,27 @@
-// Counters: use the HITM record stream directly, the way §1 suggests —
-// as "an efficient underpinning for identifying inter-thread communication
+// Counters: use the HITM record stream the way §1 suggests — as "an
+// efficient underpinning for identifying inter-thread communication
 // patterns". This example builds a custom two-phase program with the
-// public ISA builder, runs it under the PEBS+driver stack without the
-// detector, and prints the raw communication profile.
+// public ISA builder, wraps it in a workload image, and attaches a
+// monitoring session with the report threshold dropped to zero: the
+// detector then acts as a pure communication profiler, charting which
+// source lines exchange cache lines, without any instrumentation of the
+// program itself.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sort"
 
-	"repro/internal/driver"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
-	"repro/internal/pebs"
+	"repro/internal/workload"
+	"repro/laser"
 )
 
 func main() {
 	// A little pipeline: thread 0 produces into a shared slot; thread 1
-	// consumes and accumulates into a second shared slot read by thread 2.
+	// consumes and accumulates into a second shared slot.
 	b := isa.NewBuilder().At("pipeline.c", 10)
 	b.Func("stage0")
 	b.Li(1, 0)
@@ -43,41 +45,39 @@ func main() {
 	prog := b.Build()
 
 	slotA, slotB := mem.HeapBase, mem.HeapBase+4096
-	specs := []machine.ThreadSpec{
-		{Entry: 0, Regs: map[isa.Reg]int64{0: int64(slotA)}},
-		{Entry: prog.Funcs[1].Start, Regs: map[isa.Reg]int64{0: int64(slotA), 4: int64(slotB)}},
+	img := &workload.Image{
+		Prog: prog,
+		Specs: []machine.ThreadSpec{
+			{Entry: 0, Regs: map[isa.Reg]int64{0: int64(slotA)}},
+			{Entry: prog.Funcs[1].Start, Regs: map[isa.Reg]int64{0: int64(slotA), 4: int64(slotB)}},
+		},
+		Threads: 2,
 	}
 
-	vm := mem.StandardMap(prog.AppTextSize(), prog.LibTextSize(), 1<<20, 2)
-	drv := driver.New(driver.DefaultConfig())
-	pcfg := pebs.DefaultConfig()
-	pcfg.SAV = 7
-	pmu := pebs.New(pcfg, 4, prog, vm, drv)
-
-	m := machine.New(prog, machine.Config{Cores: 4, Probe: pmu}, specs)
-	if _, err := m.Run(); err != nil {
+	// Sessions attach to any image, not just the paper's workloads. SAV 7
+	// samples densely; threshold 0 reports every line with HITM traffic.
+	batches := 0
+	s, err := laser.Attach(img,
+		laser.WithSAV(7),
+		laser.WithRateThreshold(0),
+		laser.WithRepair(false),
+		laser.WithObserver(func(e laser.Event) {
+			if _, isBatch := e.(laser.SampleBatch); isBatch {
+				batches++
+			}
+		}))
+	if err != nil {
 		log.Fatal(err)
 	}
-	pmu.Drain()
+	defer s.Close()
+	res, err := s.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	byLine := map[isa.SourceLoc]int{}
-	for _, r := range drv.Poll() {
-		if idx, ok := prog.IndexOf(r.PC); ok {
-			byLine[prog.LocOf(idx)]++
-		}
-	}
-	type e struct {
-		loc isa.SourceLoc
-		n   int
-	}
-	var out []e
-	for l, n := range byLine {
-		out = append(out, e{l, n})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].n > out[j].n })
-	fmt.Println("inter-thread communication profile (HITM records by source line):")
-	for _, x := range out {
-		fmt.Printf("  %-16s %6d records\n", x.loc, x.n)
+	fmt.Printf("inter-thread communication profile (%d record batches observed):\n", batches)
+	for _, l := range res.Report.Lines {
+		fmt.Printf("  %-16s %8.0f HITM/s  (TS=%d FS=%d)\n", l.Loc, l.Rate, l.TS, l.FS)
 	}
 	fmt.Println("\nlines 12↔22 exchange data through slot A — the pipeline handoff is visible")
 	fmt.Println("directly in the coherence traffic, without any instrumentation.")

@@ -1,6 +1,7 @@
-// Quickstart: run LASER around the paper's headline workload —
-// linear_regression, whose lreg_args array falsely shares cache lines
-// (Figure 2) — and watch detection plus automatic online repair happen.
+// Quickstart: attach a LASER monitoring session to the paper's headline
+// workload — linear_regression, whose lreg_args array falsely shares
+// cache lines (Figure 2) — and watch detection plus automatic online
+// repair happen, live, on the session's event stream.
 package main
 
 import (
@@ -25,11 +26,32 @@ func main() {
 	fmt.Printf("native run: %.2f ms simulated, %d HITM coherence events\n",
 		native.Seconds()*1e3, native.HITMs())
 
-	// Then: the same program under LASER.
-	res, err := laser.Run(w, workload.Options{}, laser.DefaultConfig())
+	// Then: the same program under a LASER session. The heap bias is the
+	// attach-time perturbation laser.Run applies; events stream while the
+	// monitor works.
+	img := w.Build(workload.Options{HeapBias: laser.AttachBias})
+	s, err := laser.Attach(img)
 	if err != nil {
 		log.Fatal(err)
 	}
+	events := s.Events()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for e := range events {
+			switch e.(type) {
+			case laser.RepairTriggered, laser.RepairApplied, laser.EpochEnd:
+				fmt.Println(" ", e)
+			}
+		}
+	}()
+	res, err := s.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Close()
+	<-drained
+
 	fmt.Printf("under LASER: %.2f ms simulated (%.2fx of native)\n",
 		res.Seconds*1e3, float64(res.Stats.Cycles)/float64(native.Cycles))
 	if res.RepairApplied {

@@ -18,8 +18,15 @@ func main() {
 	w, _ := workload.Get("histogram'")
 	img := w.Build(workload.Options{})
 
-	// Detect first: which PCs contend?
-	res, err := laser.RunImage(img, detectOnly())
+	// Detect first: which PCs contend? A detection-only session leaves
+	// LASERREPAIR out of the loop but keeps the pipeline for offline
+	// interrogation.
+	s, err := laser.Attach(img, laser.WithRepair(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,10 +75,4 @@ func main() {
 		st2.Cycles, st2.HITMs(), st2.Flushes, st2.FlushAborts)
 	fmt.Printf("speedup:  %.2fx with TSO preserved (flushes are HTM-atomic)\n",
 		float64(st1.Cycles)/float64(st2.Cycles))
-}
-
-func detectOnly() laser.Config {
-	cfg := laser.DefaultConfig()
-	cfg.EnableRepair = false
-	return cfg
 }

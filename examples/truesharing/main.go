@@ -3,6 +3,11 @@
 // classifies its contention as true sharing — worker threads hammering
 // shared sum objects — and correctly refuses to attempt automatic repair,
 // which can only help false sharing.
+//
+// This version drives the session by hand: it advances the monitor in
+// slices, takes a mid-run snapshot (the detector's aggregates are
+// available at any moment, not only at exit), and uses an observer to
+// prove the repair trigger never fires.
 package main
 
 import (
@@ -15,7 +20,32 @@ import (
 )
 
 func main() {
-	res, err := laser.RunByName("kmeans", workload.Options{Scale: 0.5}, laser.DefaultConfig())
+	w, ok := workload.Get("kmeans")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+	img := w.Build(workload.Options{Scale: 0.5, HeapBias: laser.AttachBias})
+
+	triggers := 0
+	s, err := laser.Attach(img, laser.WithObserver(func(e laser.Event) {
+		if _, isTrigger := e.(laser.RepairTriggered); isTrigger {
+			triggers++
+		}
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// Let the workload run for a while, then peek at the live report.
+	if _, err := s.RunFor(40_000_000); err != nil {
+		log.Fatal(err)
+	}
+	snap := s.Snapshot()
+	fmt.Printf("mid-run snapshot at %.2f ms: %d lines above threshold\n\n",
+		snap.Seconds*1e3, len(snap.Lines))
+
+	res, err := s.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,13 +59,13 @@ func main() {
 			break
 		}
 	}
-	if res.RepairApplied {
+	if res.RepairApplied || triggers > 0 {
 		log.Fatal("unexpected: repair must not trigger on true sharing")
 	}
-	fmt.Println("\nLASERREPAIR correctly stayed out of the way (repair fixes false sharing only).")
+	fmt.Println("\nLASERREPAIR correctly stayed out of the way (repair fixes false sharing only;")
+	fmt.Println("the session observer saw zero RepairTriggered events).")
 
 	// The manual fix from §7.4.2: per-thread stack allocation.
-	w, _ := workload.Get("kmeans")
 	nat, err := laser.RunNative(w.Build(workload.Options{Scale: 0.5}), 4)
 	if err != nil {
 		log.Fatal(err)

@@ -105,11 +105,26 @@ type FilterStats struct {
 // Pipeline is the LASERDETECT event-processing pipeline. It is built per
 // monitored process: the detector parses the process' /proc maps and
 // analyzes its binary to construct the load/store sets (§4.3).
+//
+// The pipeline is epoch-aware: alongside the cumulative aggregates that
+// back the exit report, it keeps a second, epoch-scoped set of counters
+// that the §4.4 repair trigger reads. After LASERREPAIR rewrites the
+// program, the session installs the rewrite's PC translation table with
+// SetPCRemap — incoming records are translated back to original-program
+// PCs before any filtering — and calls BeginEpoch, which resets only the
+// trigger counters. Detection thereby re-arms: a later epoch triggers
+// repair again only on fresh post-repair evidence, while the cumulative
+// report keeps attributing every record, pre- and post-repair, to the
+// original binary.
 type Pipeline struct {
 	cfg  Config
 	vm   *mem.Map
 	prog *isa.Program
 	sets map[mem.Addr]isa.MemRef
+
+	// remap translates rewritten-program PCs back to the original PCs
+	// they descend from; nil until a repair is installed.
+	remap map[mem.Addr]mem.Addr
 
 	lines   map[isa.SourceLoc]*lineStat
 	model   map[mem.Line]*lastAccess
@@ -118,6 +133,14 @@ type Pipeline struct {
 	cycles  uint64 // detector CPU cycles consumed (Figure 12)
 	firstTS uint64
 	lastTS  uint64
+
+	// Epoch-scoped mirrors of lines and fsByPC, reset by BeginEpoch;
+	// RepairCandidates and EpochReportAt read these. In epoch 0 they are
+	// identical to the cumulative aggregates.
+	epoch      int
+	epochStart float64 // observation seconds when the epoch began
+	elines     map[isa.SourceLoc]*lineStat
+	efsByPC    map[mem.Addr]uint64
 }
 
 // NewPipeline builds a detector for a process described by its memory map
@@ -131,14 +154,38 @@ func NewPipeline(cfg Config, mapsText string, prog *isa.Program) (*Pipeline, err
 		return nil, fmt.Errorf("core: SAV must be positive, got %d", cfg.SAV)
 	}
 	return &Pipeline{
-		cfg:    cfg,
-		vm:     vm,
-		prog:   prog,
-		sets:   prog.LoadStoreSets(),
-		lines:  make(map[isa.SourceLoc]*lineStat),
-		model:  make(map[mem.Line]*lastAccess),
-		fsByPC: make(map[mem.Addr]uint64),
+		cfg:     cfg,
+		vm:      vm,
+		prog:    prog,
+		sets:    prog.LoadStoreSets(),
+		lines:   make(map[isa.SourceLoc]*lineStat),
+		model:   make(map[mem.Line]*lastAccess),
+		fsByPC:  make(map[mem.Addr]uint64),
+		elines:  make(map[isa.SourceLoc]*lineStat),
+		efsByPC: make(map[mem.Addr]uint64),
 	}, nil
+}
+
+// SetPCRemap installs (or, with nil, clears) the rewritten→original PC
+// translation table produced by LASERREPAIR. It is applied to each
+// record before any pipeline stage: the rewritten program is longer than
+// the text mapping the detector parsed at attach time, so untranslated
+// post-repair PCs would be dropped as non-code, and translated ones keep
+// the per-line aggregation keyed to the original source.
+func (p *Pipeline) SetPCRemap(t map[mem.Addr]mem.Addr) { p.remap = t }
+
+// Epoch returns the index of the detection epoch in progress (0 until
+// the first repair).
+func (p *Pipeline) Epoch() int { return p.epoch }
+
+// BeginEpoch starts a new detection epoch at the given observation time:
+// the epoch-scoped trigger counters reset, so re-triggering repair
+// requires fresh evidence, while the cumulative aggregates keep running.
+func (p *Pipeline) BeginEpoch(seconds float64) {
+	p.epoch++
+	p.epochStart = seconds
+	p.elines = make(map[isa.SourceLoc]*lineStat)
+	p.efsByPC = make(map[mem.Addr]uint64)
 }
 
 // Feed pushes a batch of driver records through the pipeline. Records are
@@ -155,6 +202,15 @@ func (p *Pipeline) Feed(recs []driver.Record) {
 }
 
 func (p *Pipeline) feedOne(r driver.Record) {
+	// Stage 0: when a repair is installed, translate rewritten-program
+	// PCs back to the original instruction they descend from. PCs the
+	// table does not know (spurious captures drawn from the original
+	// binary, or genuinely wild addresses) pass through unchanged.
+	if p.remap != nil {
+		if orig, ok := p.remap[r.PC]; ok {
+			r.PC = orig
+		}
+	}
 	p.filter.Processed++
 	if p.filter.Processed == 1 || r.Cycles < p.firstTS {
 		p.firstTS = r.Cycles
@@ -185,6 +241,11 @@ func (p *Pipeline) feedOne(r driver.Record) {
 		ls = &lineStat{}
 		p.lines[loc] = ls
 	}
+	els := p.elines[loc]
+	if els == nil {
+		els = &lineStat{}
+		p.elines[loc] = els
+	}
 
 	// Stage 3: outlier filtering (§3.1): 95 % of incorrect data addresses
 	// point at unmapped memory, so records whose address is unmapped or
@@ -194,12 +255,14 @@ func (p *Pipeline) feedOne(r driver.Record) {
 	if kind, mapped := p.vm.Classify(r.Addr); !mapped || kind == mem.RegionKernel {
 		p.filter.DroppedOutlier++
 		ls.badAddr++
+		els.badAddr++
 		return
 	}
 	p.filter.Kept++
 
 	// Stage 4: aggregate by source line (§4.2).
 	ls.records++
+	els.records++
 
 	// Stage 5: the cache line model (§4.3, Figure 5), using the
 	// load/store sets to decode the access type and size.
@@ -229,9 +292,12 @@ func (p *Pipeline) feedOne(r driver.Record) {
 		// in the model for the report.
 		if overlap := la.bits&bits != 0; overlap {
 			ls.ts++
+			els.ts++
 		} else {
 			ls.fs++
+			els.fs++
 			p.fsByPC[r.PC]++
+			p.efsByPC[r.PC]++
 		}
 	}
 	la.bits, la.write, la.valid = bits, write, true
@@ -261,13 +327,26 @@ type Report struct {
 // ReportAt computes the report for an observation window of the given
 // simulated duration, applying threshold as the line rate filter. The
 // aggregates are retained, so different thresholds can be explored offline
-// without rerunning the program (§4.2, Figure 9).
+// without rerunning the program (§4.2, Figure 9) — and, because this only
+// reads the retained counters, at any point mid-run (a session snapshot),
+// not just at exit.
 func (p *Pipeline) ReportAt(seconds, threshold float64) *Report {
+	return p.reportFrom(p.lines, seconds, threshold)
+}
+
+// EpochReportAt computes a report over only the records of the detection
+// epoch in progress, with the observation window measured from the
+// epoch's start. It is the windowed counterpart of ReportAt.
+func (p *Pipeline) EpochReportAt(seconds, threshold float64) *Report {
+	return p.reportFrom(p.elines, seconds-p.epochStart, threshold)
+}
+
+func (p *Pipeline) reportFrom(lines map[isa.SourceLoc]*lineStat, seconds, threshold float64) *Report {
 	rep := &Report{Seconds: seconds}
 	if seconds <= 0 {
 		return rep
 	}
-	for loc, ls := range p.lines {
+	for loc, ls := range lines {
 		rate := float64(ls.records) * float64(p.cfg.SAV) / seconds
 		if rate < threshold {
 			continue
@@ -304,28 +383,31 @@ func (p *Pipeline) Report(seconds float64) *Report {
 // exceeds the repair threshold, it returns the PCs involved in false
 // sharing, most active first. True-sharing lines never trigger repair —
 // "avoiding fruitless attempts to automatically repair true sharing"
-// (§7.1).
+// (§7.1). The trigger reads the epoch-scoped counters over the epoch's
+// own window, so after a repair (and BeginEpoch) it re-arms on fresh
+// evidence only; in epoch 0 this is identical to the cumulative rate.
 func (p *Pipeline) RepairCandidates(seconds float64) ([]mem.Addr, bool) {
-	if seconds <= 0 {
+	window := seconds - p.epochStart
+	if window <= 0 {
 		return nil, false
 	}
 	var fsRecords uint64
-	for _, ls := range p.lines {
+	for _, ls := range p.elines {
 		if ls.fs > ls.ts {
 			fsRecords += ls.records
 		}
 	}
-	rate := float64(fsRecords) * float64(p.cfg.SAV) / seconds
+	rate := float64(fsRecords) * float64(p.cfg.SAV) / window
 	if rate < p.cfg.RepairRateThreshold {
 		return nil, false
 	}
-	pcs := make([]mem.Addr, 0, len(p.fsByPC))
-	for pc := range p.fsByPC {
+	pcs := make([]mem.Addr, 0, len(p.efsByPC))
+	for pc := range p.efsByPC {
 		pcs = append(pcs, pc)
 	}
 	sort.Slice(pcs, func(i, j int) bool {
-		if p.fsByPC[pcs[i]] != p.fsByPC[pcs[j]] {
-			return p.fsByPC[pcs[i]] > p.fsByPC[pcs[j]]
+		if p.efsByPC[pcs[i]] != p.efsByPC[pcs[j]] {
+			return p.efsByPC[pcs[i]] > p.efsByPC[pcs[j]]
 		}
 		return pcs[i] < pcs[j]
 	})

@@ -41,6 +41,17 @@ type Stats struct {
 	CyclesCharged uint64
 }
 
+// Sub returns the per-field difference s−prev. Monitoring sessions
+// snapshot Stats at each detection-epoch boundary and report the deltas,
+// so the cost of every epoch is attributable on its own.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Interrupts:    s.Interrupts - prev.Interrupts,
+		Records:       s.Records - prev.Records,
+		CyclesCharged: s.CyclesCharged - prev.CyclesCharged,
+	}
+}
+
 // Driver implements pebs.Sink. The zero value is not usable; call New.
 type Driver struct {
 	cfg   Config

@@ -47,6 +47,9 @@ func TestFigure3Shape(t *testing.T) {
 // A focused accuracy check on the headline workloads (full Table 1 runs in
 // the benchmark harness).
 func TestAccuracyHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-calibrated accuracy sweep; skipped in the reduced-scale race run")
+	}
 	cfg := Config{AccuracyScale: 6, Runs: 1, PerfScale: 0.3}
 	for _, tc := range []struct {
 		name      string
@@ -121,6 +124,9 @@ func TestAccuracyQuietWorkloads(t *testing.T) {
 // Sheriff misses the sync-free false sharing and reports reverse_index's
 // allocation site instead of its code (§7.1).
 func TestSheriffAccuracyMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-calibrated accuracy sweep; skipped in the reduced-scale race run")
+	}
 	cfg := Config{AccuracyScale: 6, Runs: 1}
 	for _, tc := range []struct {
 		name           string
@@ -151,6 +157,9 @@ func TestSheriffAccuracyMechanisms(t *testing.T) {
 // Figure 9's monotone shape: false positives shrink and false negatives
 // grow as the threshold rises.
 func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-calibrated accuracy sweep; skipped in the reduced-scale race run")
+	}
 	cfg := Config{AccuracyScale: 5, Runs: 1}
 	res := &AccuracyResult{
 		pipelines: map[string]*core.Pipeline{},
@@ -252,6 +261,9 @@ func TestFigure13Shape(t *testing.T) {
 // Figure 14 mechanisms on a subset: Sheriff repairs linear_regression's
 // false sharing incidentally, and drowns water_nsquared in sync costs.
 func TestFigure14Mechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-calibrated accuracy sweep; skipped in the reduced-scale race run")
+	}
 	cfg := Config{PerfScale: 0.5, Runs: 1}
 	rows, err := RunFigure14(cfg)
 	if err != nil {

@@ -115,15 +115,32 @@ func forEach(n int, fn func(i int) error) error {
 	return nil
 }
 
-// runLaser executes one workload under the full LASER stack.
+// runLaser executes one workload under the full LASER stack, via the
+// Session API. The harness reproduces the paper's runs exactly: a single
+// detect→repair epoch with monitoring frozen after a rewrite — the
+// legacy laser.Run semantics — so every rendered table and figure is
+// byte-identical to the one-shot path.
 func runLaser(name string, scale float64, repairOn bool, sav int, seed int64) (*laser.Result, error) {
+	w, ok := workload.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	img := w.Build(workload.Options{Scale: scale, HeapBias: laser.AttachBias})
 	cfg := laser.DefaultConfig()
-	cfg.EnableRepair = repairOn
 	if sav > 0 {
 		cfg.PEBS.SAV = sav
 	}
 	cfg.PEBS.Seed = seed
-	return laser.RunByName(name, workload.Options{Scale: scale}, cfg)
+	s, err := laser.Attach(img,
+		laser.WithConfig(cfg),
+		laser.WithRepair(repairOn),
+		laser.WithMaxEpochs(1),
+		laser.WithPostRepairMonitoring(false))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Wait()
 }
 
 // nativeKey identifies one native (unmonitored) configuration; such runs

@@ -26,13 +26,18 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		}
 		s.fig3 = RenderFigure3(sums)
 		cfg := Config{AccuracyScale: 2, PerfScale: 0.3, Runs: 1}
-		acc, err := RunAccuracy(cfg)
-		if err != nil {
-			t.Fatal(err)
+		// The full-accuracy sweep dominates this test's runtime; -short
+		// (the reduced-scale race-detector CI job) keeps the Figure 3 and
+		// Figure 13 pools, which exercise the same worker machinery.
+		if !testing.Short() {
+			acc, err := RunAccuracy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.table1 = acc.RenderTable1()
+			s.table2 = acc.RenderTable2()
+			s.fig9 = acc.Figure9()
 		}
-		s.table1 = acc.RenderTable1()
-		s.table2 = acc.RenderTable2()
-		s.fig9 = acc.Figure9()
 		points, err := RunFigure13(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -83,6 +83,18 @@ type Stats struct {
 	Reconfigs  uint64 // context-switch reconfigurations
 }
 
+// Sub returns the per-field difference s−prev. Monitoring sessions
+// snapshot Stats at each detection-epoch boundary and report the deltas,
+// so sampling activity is attributable per epoch.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Events:     s.Events - prev.Events,
+		Records:    s.Records - prev.Records,
+		Interrupts: s.Interrupts - prev.Interrupts,
+		Reconfigs:  s.Reconfigs - prev.Reconfigs,
+	}
+}
+
 // Unit is the per-chip PMU: one HITM counter and PEBS buffer per core.
 // It implements machine.Probe.
 type Unit struct {

@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"sort"
+
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -8,7 +10,8 @@ import (
 
 // Controller drives online repair of one process: it attaches to the
 // machine (as Pin attaches to a running process, §6), applies the SSB
-// rewrite when LASERDETECT hands over contending PCs, and falls back to
+// rewrite when LASERDETECT hands over contending PCs, extends the rewrite
+// when later detection epochs surface new contention, and falls back to
 // conservative instrumentation if a speculative alias check fires at
 // runtime (§5.3).
 type Controller struct {
@@ -18,8 +21,13 @@ type Controller struct {
 
 	applied      bool
 	conservative bool
-	pcs          []mem.Addr
-	revToOrig    []int // instrumented index → original index
+	// plans and fnPCs hold the per-function analysis results accumulated
+	// across epochs; the installed program is always the original program
+	// rewritten under the merge of every plan.
+	plans     map[string]*Plan
+	fnPCs     map[string][]mem.Addr
+	revToOrig []int // installed index → original index
+	gen       int   // program hot-swap count
 }
 
 // NewController prepares a controller for the machine's current program.
@@ -34,45 +42,138 @@ func (c *Controller) Applied() bool { return c.applied }
 // installed.
 func (c *Controller) Conservative() bool { return c.conservative }
 
+// Generation counts program hot-swaps (installs, conservative
+// refinements, undos). A monitoring session compares generations to know
+// when to refresh its PC remap table.
+func (c *Controller) Generation() int { return c.gen }
+
 // Apply analyzes the contending PCs and, if the plan is profitable,
-// hot-swaps the instrumented program into the machine. It is idempotent:
-// further calls after a successful application are no-ops.
+// hot-swaps the instrumented program into the machine. The first call
+// analyzes the PCs as one region, exactly as the one-shot system does.
+// Once a rewrite is installed, further calls extend it: PCs already
+// covered are ignored, and genuinely new contention re-analyzes the
+// affected function over the union of its old and new PCs — the
+// multi-epoch path. A call that adds nothing is a no-op (check
+// Generation to distinguish it from a fresh install).
 func (c *Controller) Apply(pcs []mem.Addr) error {
 	if c.applied {
-		return nil
+		return c.extend(pcs)
 	}
 	plan, err := Analyze(c.cfg, c.orig, pcs)
 	if err != nil {
 		return err
 	}
-	inst, fwd, rev := Rewrite(c.orig, plan)
-	c.m.SetProgram(inst, func(i int) int { return fwd[i] })
+	c.plans = map[string]*Plan{plan.Fn.Name: plan}
+	c.fnPCs = map[string][]mem.Addr{plan.Fn.Name: append([]mem.Addr(nil), pcs...)}
+	c.install()
 	c.applied = true
-	c.pcs = pcs
-	c.revToOrig = rev
 	return nil
 }
 
+// extend grows an installed rewrite with PCs from a later detection
+// epoch. Each affected function is re-analyzed over the union of its
+// accumulated PCs; functions whose candidate set did not grow are left
+// alone. The error of the first function that fails analysis is
+// returned (the installed rewrite stays in place either way).
+func (c *Controller) extend(pcs []mem.Addr) error {
+	cfg := c.cfg
+	if c.conservative {
+		cfg.SpeculativeAliasing = false
+	}
+	// Analyze every affected function first; accumulated state is only
+	// committed once the whole extension is known to be sound, so a
+	// refusal leaves the installed rewrite and its bookkeeping intact.
+	newPlans := map[string]*Plan{}
+	newPCs := map[string][]mem.Addr{}
+	for _, g := range groupByFunc(c.orig, pcs) {
+		union := unionPCs(c.fnPCs[g.fn.Name], g.pcs)
+		if len(union) == len(c.fnPCs[g.fn.Name]) {
+			continue
+		}
+		plan, err := Analyze(cfg, c.orig, union)
+		if err != nil {
+			return err
+		}
+		newPlans[plan.Fn.Name] = plan
+		newPCs[plan.Fn.Name] = union
+	}
+	if len(newPlans) == 0 {
+		return nil
+	}
+	for name, plan := range newPlans {
+		c.plans[name] = plan
+		c.fnPCs[name] = newPCs[name]
+	}
+	c.install()
+	return nil
+}
+
+// install rewrites the original program under the merged plan and
+// hot-swaps it in, remapping thread state from the currently installed
+// program through its reverse map.
+func (c *Controller) install() {
+	inst, fwd, rev := Rewrite(c.orig, MergePlans(c.orderedPlans()))
+	if prevRev := c.revToOrig; prevRev != nil {
+		c.m.SetProgram(inst, func(i int) int { return fwd[prevRev[i]] })
+	} else {
+		c.m.SetProgram(inst, func(i int) int { return fwd[i] })
+	}
+	c.revToOrig = rev
+	c.gen++
+}
+
+// orderedPlans returns the accumulated plans sorted by function start,
+// so the merged rewrite is deterministic.
+func (c *Controller) orderedPlans() []*Plan {
+	out := make([]*Plan, 0, len(c.plans))
+	for _, p := range c.plans {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fn.Start < out[j].Fn.Start })
+	return out
+}
+
+// PCRemap returns a table translating every PC of the currently
+// installed (rewritten) program back to the PC of the original
+// instruction it descends from, or nil when the original program is
+// installed. LASERDETECT threads this table into its pipeline so that
+// post-repair HITM records keep attributing to the original binary —
+// the remapping that lets detection re-arm for another epoch instead of
+// freezing at the first repair.
+func (c *Controller) PCRemap() map[mem.Addr]mem.Addr {
+	if !c.applied {
+		return nil
+	}
+	cur := c.m.Program()
+	t := make(map[mem.Addr]mem.Addr, len(cur.Instrs))
+	for i := range cur.Instrs {
+		t[cur.Instrs[i].PC] = c.orig.Instrs[c.revToOrig[i]].PC
+	}
+	return t
+}
+
 // OnAliasMiss is wired into machine.Config.OnAliasMiss: a misspeculation
-// flushes locally (the machine already did) and the code is re-analyzed
-// with speculative alias analysis disabled.
+// flushes locally (the machine already did) and every instrumented
+// function is re-analyzed with speculative alias analysis disabled.
 func (c *Controller) OnAliasMiss(tid int, pc mem.Addr) {
 	if !c.applied || c.conservative {
 		return
 	}
 	cfg := c.cfg
 	cfg.SpeculativeAliasing = false
-	plan, err := Analyze(cfg, c.orig, c.pcs)
-	if err != nil {
-		// The conservative plan can be unprofitable; undo the repair.
-		c.undo()
-		return
+	plans := make(map[string]*Plan, len(c.plans))
+	for name, pcs := range c.fnPCs {
+		plan, err := Analyze(cfg, c.orig, pcs)
+		if err != nil {
+			// The conservative plan can be unprofitable; undo the repair.
+			c.undo()
+			return
+		}
+		plans[name] = plan
 	}
-	cons, fwd, rev := Rewrite(c.orig, plan)
-	prevRev := c.revToOrig
-	c.m.SetProgram(cons, func(i int) int { return fwd[prevRev[i]] })
-	c.revToOrig = rev
+	c.plans = plans
 	c.conservative = true
+	c.install()
 }
 
 // undo restores the original program.
@@ -82,4 +183,57 @@ func (c *Controller) undo() {
 	c.applied = false
 	c.conservative = false
 	c.revToOrig = nil
+	c.plans = nil
+	c.fnPCs = nil
+	c.gen++
+}
+
+// fnGroup is the slice of candidate PCs attributed to one function.
+type fnGroup struct {
+	fn  isa.Func
+	pcs []mem.Addr
+}
+
+// groupByFunc buckets candidate PCs by the function containing the
+// memory instruction each resolves to (with the same one-instruction
+// skid tolerance as Analyze). PCs resolving to no memory instruction
+// are dropped. Groups come out in first-appearance order.
+func groupByFunc(prog *isa.Program, pcs []mem.Addr) []fnGroup {
+	byName := map[string]int{}
+	var groups []fnGroup
+	for _, pc := range pcs {
+		idxs := contendingIndices(prog, []mem.Addr{pc})
+		if len(idxs) == 0 {
+			continue
+		}
+		fn, ok := prog.FuncAt(idxs[0])
+		if !ok {
+			continue
+		}
+		gi, seen := byName[fn.Name]
+		if !seen {
+			gi = len(groups)
+			byName[fn.Name] = gi
+			groups = append(groups, fnGroup{fn: fn})
+		}
+		groups[gi].pcs = append(groups[gi].pcs, pc)
+	}
+	return groups
+}
+
+// unionPCs appends the PCs of add not already present in base,
+// preserving order.
+func unionPCs(base, add []mem.Addr) []mem.Addr {
+	seen := make(map[mem.Addr]bool, len(base))
+	out := append([]mem.Addr(nil), base...)
+	for _, pc := range base {
+		seen[pc] = true
+	}
+	for _, pc := range add {
+		if !seen[pc] {
+			seen[pc] = true
+			out = append(out, pc)
+		}
+	}
+	return out
 }

@@ -1,0 +1,41 @@
+package repair
+
+import "sort"
+
+// MergePlans combines per-function plans into a single rewrite plan.
+// The plans must cover disjoint instruction ranges — one plan per
+// function, which Controller.Apply guarantees — so merging their index
+// sets is sound. A single plan is returned as-is, keeping the one-shot
+// repair path bit-identical to rewriting from that plan directly. The
+// merged Fn is the first function by start index; EstStoresPerFlush is
+// the most pessimistic (lowest) of the inputs.
+func MergePlans(plans []*Plan) *Plan {
+	if len(plans) == 1 {
+		return plans[0]
+	}
+	out := &Plan{
+		Instrument:  map[int]bool{},
+		AliasExempt: map[int]bool{},
+		CheckBefore: map[int]bool{},
+	}
+	for i, p := range plans {
+		if i == 0 || p.Fn.Start < out.Fn.Start {
+			out.Fn = p.Fn
+		}
+		if i == 0 || p.EstStoresPerFlush < out.EstStoresPerFlush {
+			out.EstStoresPerFlush = p.EstStoresPerFlush
+		}
+		for k := range p.Instrument {
+			out.Instrument[k] = true
+		}
+		for k := range p.AliasExempt {
+			out.AliasExempt[k] = true
+		}
+		for k := range p.CheckBefore {
+			out.CheckBefore[k] = true
+		}
+		out.FlushBefore = append(out.FlushBefore, p.FlushBefore...)
+	}
+	sort.Ints(out.FlushBefore)
+	return out
+}

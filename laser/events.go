@@ -1,0 +1,169 @@
+package laser
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Event is one observation from a running Session: a batch of HITM
+// records arriving, a detection report, repair activity, or an epoch
+// boundary. Events are emitted synchronously, in deterministic order for
+// a given image and configuration, to every observer registered with
+// WithObserver and to the channel returned by Events.
+type Event interface {
+	// When returns the simulated machine cycle at which the event was
+	// observed by the monitor.
+	When() uint64
+	// Epoch returns the detection epoch the event belongs to.
+	Epoch() int
+
+	isEvent()
+}
+
+// common carries the fields every event shares.
+type common struct {
+	Cycle      uint64 // machine cycle when the monitor observed the event
+	EpochIndex int    // detection epoch in progress
+}
+
+func (c common) When() uint64 { return c.Cycle }
+func (c common) Epoch() int   { return c.EpochIndex }
+func (c common) isEvent()     {}
+
+// SampleBatch reports one driver poll that returned HITM records — the
+// read() on the kernel device coming back non-empty.
+type SampleBatch struct {
+	common
+	// Records is the number of HITM records in the batch.
+	Records int
+	// Dropped is true when the batch was drained without feeding the
+	// detector (post-repair with monitoring frozen).
+	Dropped bool
+}
+
+func (e SampleBatch) String() string {
+	return fmt.Sprintf("[%d] sample batch: %d records (epoch %d)", e.Cycle, e.Records, e.EpochIndex)
+}
+
+// DetectionReport carries a windowed detector report: emitted at every
+// epoch boundary and at session end, covering that epoch's observation
+// window only.
+type DetectionReport struct {
+	common
+	Report *core.Report
+}
+
+func (e DetectionReport) String() string {
+	return fmt.Sprintf("[%d] detection report: %d lines over %.2f ms (epoch %d)",
+		e.Cycle, len(e.Report.Lines), e.Report.Seconds*1e3, e.EpochIndex)
+}
+
+// RepairTriggered reports that the §4.4 false-sharing rate threshold was
+// crossed and LASERDETECT handed candidate PCs to LASERREPAIR.
+type RepairTriggered struct {
+	common
+	// Candidates are the contending PCs, most active first (original-
+	// program addresses).
+	Candidates []mem.Addr
+}
+
+func (e RepairTriggered) String() string {
+	return fmt.Sprintf("[%d] repair triggered: %d candidate PCs (epoch %d)",
+		e.Cycle, len(e.Candidates), e.EpochIndex)
+}
+
+// RepairApplied reports that LASERREPAIR hot-swapped a rewritten program
+// into the machine.
+type RepairApplied struct {
+	common
+	// Conservative is true when the installed rewrite has speculative
+	// alias analysis disabled (the §5.3 fallback).
+	Conservative bool
+}
+
+func (e RepairApplied) String() string {
+	return fmt.Sprintf("[%d] repair applied (epoch %d)", e.Cycle, e.EpochIndex)
+}
+
+// RepairDeclined reports that a triggered repair was refused by the
+// static analysis (unprofitable, or the region is too complex). The
+// session stops re-triggering afterwards; Err is also recorded as the
+// Result's RepairErr.
+type RepairDeclined struct {
+	common
+	Err error
+}
+
+func (e RepairDeclined) String() string {
+	return fmt.Sprintf("[%d] repair declined: %v (epoch %d)", e.Cycle, e.Err, e.EpochIndex)
+}
+
+// EpochEnd closes a detection epoch: after a repair hot-swap (Repaired
+// true) or at session end (Repaired false). Report is the epoch's
+// windowed detection report — the same one carried by the paired
+// DetectionReport event.
+type EpochEnd struct {
+	common
+	Repaired bool
+	Report   *core.Report
+}
+
+func (e EpochEnd) String() string {
+	return fmt.Sprintf("[%d] epoch %d end (repaired=%v)", e.Cycle, e.EpochIndex, e.Repaired)
+}
+
+// eventStream adapts synchronous observer callbacks to a channel without
+// ever blocking the session: events queue without bound and a pump
+// goroutine forwards them. close drains the queue and then closes the
+// channel.
+type eventStream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Event
+	closed bool
+	ch     chan Event
+}
+
+func newEventStream() *eventStream {
+	s := &eventStream{ch: make(chan Event)}
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump()
+	return s
+}
+
+func (s *eventStream) push(e Event) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, e)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *eventStream) pump() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			close(s.ch)
+			return
+		}
+		e := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.ch <- e
+	}
+}
+
+func (s *eventStream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}

@@ -1,14 +1,30 @@
 // Package laser is the public face of the LASER reproduction: it wires
 // the simulated Haswell machine, the PEBS HITM sampling hardware, the
 // kernel driver, the LASERDETECT pipeline and the LASERREPAIR rewriter
-// into the three-process architecture of the paper's Figure 8, and runs a
-// workload under it.
+// into the three-process architecture of the paper's Figure 8.
 //
-// Typical use:
+// The primary API is the Session: a long-lived, observable monitor
+// around one workload image.
 //
 //	w, _ := workload.Get("linear_regression")
-//	res, err := laser.Run(w, workload.Options{}, laser.DefaultConfig())
+//	img := w.Build(workload.Options{HeapBias: laser.AttachBias})
+//	s, _ := laser.Attach(img, laser.WithSAV(19))
+//	defer s.Close()
+//	res, _ := s.Wait()
 //	fmt.Print(res.Report.Render())
+//
+// Sessions are configured with functional options (WithCores,
+// WithRepair, WithPollInterval, WithSAV, WithMaxEpochs, ...), stream
+// typed events (Events, WithObserver), produce reports at any moment
+// mid-run (Snapshot, SnapshotAt), and run multiple detect→repair
+// epochs: after a rewrite, post-repair HITM records are remapped to
+// original-program PCs so detection re-arms instead of freezing.
+//
+// Run, RunImage and RunByName are convenience wrappers retained from the
+// one-shot API: each attaches a session pinned to the paper's single
+// detect→repair pass (one epoch, monitoring frozen at repair) and waits
+// for it, so their results — including every rendered evaluation table —
+// are identical to the historical behaviour.
 package laser
 
 import (
@@ -24,7 +40,10 @@ import (
 	"repro/internal/workload"
 )
 
-// Config assembles the component configurations.
+// Config assembles the component configurations. New code should prefer
+// Attach with options, which validates instead of silently coercing;
+// Config remains the bulk form (see WithConfig) and the shape the legacy
+// wrappers take.
 type Config struct {
 	Cores        int
 	PEBS         pebs.Config
@@ -37,6 +56,10 @@ type Config struct {
 	PollInterval uint64
 	// MaxCycles caps the run (0 = effectively unbounded).
 	MaxCycles uint64
+	// MaxEpochs bounds how many detect→repair epochs a session may run.
+	// 0 means "entry point's default": 1 (the paper's one-shot pass) for
+	// the Run wrappers, DefaultMaxEpochs for Attach.
+	MaxEpochs int
 }
 
 // DefaultConfig matches the paper's evaluation setup: SAV 19, 1K HITMs/s
@@ -53,14 +76,58 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate normalizes and checks a configuration. Zero values the
+// one-shot API historically coerced keep their defaults — Cores 0→4,
+// PollInterval 0→2M cycles, PEBS.BufferCap 0→64, MaxEpochs 0→1 —
+// while genuinely invalid values (negative counts, non-positive
+// sample-after values, negative thresholds) are rejected with
+// descriptive errors instead of being run with.
+func (c *Config) Validate() error {
+	switch {
+	case c.Cores < 0:
+		return fmt.Errorf("laser: Cores must be positive, got %d", c.Cores)
+	case c.MaxEpochs < 0:
+		return fmt.Errorf("laser: MaxEpochs must be positive, got %d", c.MaxEpochs)
+	case c.PEBS.SAV <= 0:
+		return fmt.Errorf("laser: PEBS.SAV (sample-after value) must be positive, got %d", c.PEBS.SAV)
+	case c.PEBS.BufferCap < 0:
+		return fmt.Errorf("laser: PEBS.BufferCap must be positive, got %d", c.PEBS.BufferCap)
+	case c.Detector.SAV <= 0:
+		return fmt.Errorf("laser: Detector.SAV must be positive, got %d", c.Detector.SAV)
+	case c.Detector.RateThreshold < 0:
+		return fmt.Errorf("laser: Detector.RateThreshold must be non-negative, got %g", c.Detector.RateThreshold)
+	case c.Detector.RepairRateThreshold < 0:
+		return fmt.Errorf("laser: Detector.RepairRateThreshold must be non-negative, got %g", c.Detector.RepairRateThreshold)
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 2_000_000
+	}
+	if c.PEBS.BufferCap == 0 {
+		c.PEBS.BufferCap = 64
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 1
+	}
+	return nil
+}
+
 // Result is everything a LASER run produces.
 type Result struct {
 	// Stats are the machine statistics of the monitored application.
 	Stats *machine.Stats
-	// Report is the contention report at exit (pre-repair aggregates).
+	// Report is the contention report at exit. Under the one-shot
+	// wrappers these are the pre-repair aggregates; a multi-epoch
+	// session keeps the report live across repairs, attributed to
+	// original-program PCs.
 	Report *core.Report
 	// Pipeline exposes the detector for offline re-thresholding (Fig. 9).
 	Pipeline *core.Pipeline
+	// Epochs are the per-epoch windowed reports and monitoring costs, in
+	// order; the last entry is the epoch the workload ended in.
+	Epochs []EpochReport
 	// RepairApplied says whether LASERREPAIR rewrote the program.
 	RepairApplied bool
 	// RepairErr records why a triggered repair was refused (nil if repair
@@ -90,86 +157,29 @@ func RunNative(img *workload.Image, cores int) (*machine.Stats, error) {
 // Run builds the workload (with the attach-time heap bias), starts the
 // full LASER stack around it, and executes to completion with periodic
 // detector polling and, when triggered and profitable, online repair.
+// It is a convenience wrapper over a one-epoch Session.
 func Run(w *workload.Workload, opts workload.Options, cfg Config) (*Result, error) {
 	opts.HeapBias = AttachBias
 	img := w.Build(opts)
 	return RunImage(img, cfg)
 }
 
-// RunImage runs LASER around an already-built image.
+// RunImage runs LASER around an already-built image: it attaches a
+// session pinned to the paper's one-shot semantics — a single
+// detect→repair epoch, with monitoring results frozen once a repair is
+// installed (the paper's detector likewise reports the pre-repair
+// contention) — and waits for it.
 func RunImage(img *workload.Image, cfg Config) (*Result, error) {
-	if cfg.Cores == 0 {
-		cfg.Cores = 4
+	st := settings{cfg: cfg}
+	if err := st.cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.PollInterval == 0 {
-		cfg.PollInterval = 2_000_000
-	}
-	vm := img.VMMap()
-	drv := driver.New(cfg.Driver)
-	pmu := pebs.New(cfg.PEBS, cfg.Cores, img.Prog, vm, drv)
-	pipe, err := core.NewPipeline(cfg.Detector, vm.Render(), img.Prog)
+	s, err := newSession(img, st)
 	if err != nil {
-		return nil, fmt.Errorf("laser: %w", err)
+		return nil, err
 	}
-
-	var ctl *repair.Controller
-	mcfg := machine.Config{
-		Cores:     cfg.Cores,
-		Probe:     pmu,
-		MaxCycles: cfg.MaxCycles,
-		OnAliasMiss: func(tid int, pc mem.Addr) {
-			if ctl != nil {
-				ctl.OnAliasMiss(tid, pc)
-			}
-		},
-	}
-	m := machine.New(img.Prog, mcfg, img.Specs)
-	img.Init(m)
-	ctl = repair.NewController(cfg.Repair, m)
-
-	res := &Result{Pipeline: pipe}
-	var next uint64 = cfg.PollInterval
-	for {
-		done, err := m.RunFor(next)
-		if err != nil {
-			return res, err
-		}
-		if !res.RepairApplied {
-			// Pre-repair records attribute correctly to the original
-			// program; afterwards the rewritten PCs would mislead the
-			// pipeline, so monitoring results are frozen (the paper's
-			// detector likewise reports the pre-repair contention).
-			pipe.Feed(drv.Poll())
-		} else {
-			drv.Poll() // drain
-		}
-		if done {
-			break
-		}
-		st := m.Stats()
-		if cfg.EnableRepair && !res.RepairApplied && res.RepairErr == nil {
-			if pcs, ok := pipe.RepairCandidates(st.Seconds()); ok {
-				if err := ctl.Apply(pcs); err != nil {
-					res.RepairErr = err
-				} else {
-					res.RepairApplied = true
-				}
-			}
-		}
-		next += cfg.PollInterval
-	}
-	pmu.Drain()
-	if !res.RepairApplied {
-		pipe.Feed(drv.Poll())
-	}
-
-	res.Stats = m.Stats()
-	res.Seconds = res.Stats.Seconds()
-	res.Report = pipe.Report(res.Seconds)
-	res.DriverStats = drv.Stats()
-	res.PEBSStats = pmu.Stats()
-	res.DetectorCycle = pipe.DetectorCycles()
-	return res, nil
+	defer s.Close()
+	return s.Wait()
 }
 
 // ErrNoWorkload is returned by RunByName for unknown workloads.

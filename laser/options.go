@@ -1,0 +1,153 @@
+package laser
+
+import "fmt"
+
+// settings is everything Attach needs: the component configuration plus
+// session-only knobs that have no legacy Config field.
+type settings struct {
+	cfg Config
+	// monitorAfterRepair keeps feeding the detector after a repair in
+	// the final epoch (remapped to original PCs). The legacy one-shot
+	// wrappers run with it off — they freeze monitoring at the first
+	// repair, as the paper's exit report does.
+	monitorAfterRepair bool
+	observers          []func(Event)
+}
+
+// Option customizes a Session at Attach time. Options validate their
+// arguments: Attach reports the first invalid one instead of silently
+// coercing it, unlike the legacy Config path.
+type Option func(*settings) error
+
+// WithConfig replaces the whole component configuration, for callers
+// migrating from the legacy Config struct. Later options apply on top.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) error {
+		s.cfg = cfg
+		return nil
+	}
+}
+
+// WithCores sets the simulated core count.
+func WithCores(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("WithCores: core count must be positive, got %d", n)
+		}
+		s.cfg.Cores = n
+		return nil
+	}
+}
+
+// WithRepair enables or disables LASERREPAIR.
+func WithRepair(enabled bool) Option {
+	return func(s *settings) error {
+		s.cfg.EnableRepair = enabled
+		return nil
+	}
+}
+
+// WithPollInterval sets the simulated-cycle slice between detector polls
+// of the driver device.
+func WithPollInterval(cycles uint64) Option {
+	return func(s *settings) error {
+		if cycles == 0 {
+			return fmt.Errorf("WithPollInterval: interval must be positive")
+		}
+		s.cfg.PollInterval = cycles
+		return nil
+	}
+}
+
+// WithSAV sets the PEBS sample-after value on both the sampling hardware
+// and the detector's rate scaling (the two must agree for event-rate
+// estimates to be meaningful).
+func WithSAV(sav int) Option {
+	return func(s *settings) error {
+		if sav <= 0 {
+			return fmt.Errorf("WithSAV: sample-after value must be positive, got %d", sav)
+		}
+		s.cfg.PEBS.SAV = sav
+		s.cfg.Detector.SAV = sav
+		return nil
+	}
+}
+
+// WithSeed seeds the PEBS imprecision model. Equal seeds (with equal
+// images and options) produce identical runs, event for event.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.cfg.PEBS.Seed = seed
+		return nil
+	}
+}
+
+// WithRateThreshold sets the report rate threshold in HITM events per
+// second. Zero reports every line; the paper settles on 1K.
+func WithRateThreshold(hitmsPerSec float64) Option {
+	return func(s *settings) error {
+		if hitmsPerSec < 0 {
+			return fmt.Errorf("WithRateThreshold: threshold must be non-negative, got %g", hitmsPerSec)
+		}
+		s.cfg.Detector.RateThreshold = hitmsPerSec
+		return nil
+	}
+}
+
+// WithRepairRateThreshold sets the false-sharing event rate above which
+// LASERREPAIR is invoked (§4.4).
+func WithRepairRateThreshold(fsPerSec float64) Option {
+	return func(s *settings) error {
+		if fsPerSec <= 0 {
+			return fmt.Errorf("WithRepairRateThreshold: threshold must be positive, got %g", fsPerSec)
+		}
+		s.cfg.Detector.RepairRateThreshold = fsPerSec
+		return nil
+	}
+}
+
+// WithMaxCycles caps the simulated run.
+func WithMaxCycles(n uint64) Option {
+	return func(s *settings) error {
+		s.cfg.MaxCycles = n
+		return nil
+	}
+}
+
+// WithMaxEpochs bounds how many detect→repair epochs the session may run.
+// 1 recovers the paper's one-shot behaviour (a single repair, then the
+// pipeline keeps observing but never re-triggers); Attach's default is
+// DefaultMaxEpochs.
+func WithMaxEpochs(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("WithMaxEpochs: need at least one epoch, got %d", n)
+		}
+		s.cfg.MaxEpochs = n
+		return nil
+	}
+}
+
+// WithPostRepairMonitoring controls whether the detector keeps consuming
+// records once the last permitted repair is installed. Sessions default
+// to true: post-repair records are remapped to original PCs and keep the
+// report live. The legacy Run/RunImage wrappers run with false,
+// reproducing the one-shot system's frozen-at-repair exit report.
+func WithPostRepairMonitoring(enabled bool) Option {
+	return func(s *settings) error {
+		s.monitorAfterRepair = enabled
+		return nil
+	}
+}
+
+// WithObserver registers a callback invoked synchronously for every
+// session event, in emission order. Use Events for a channel instead.
+func WithObserver(fn func(Event)) Option {
+	return func(s *settings) error {
+		if fn == nil {
+			return fmt.Errorf("WithObserver: observer must not be nil")
+		}
+		s.observers = append(s.observers, fn)
+		return nil
+	}
+}

@@ -1,0 +1,471 @@
+package laser
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+// DefaultMaxEpochs is the detect→repair epoch budget of a Session when
+// WithMaxEpochs is not given: enough to re-arm repeatedly without letting
+// a pathological workload swap programs forever.
+const DefaultMaxEpochs = 8
+
+// Session errors.
+var (
+	// ErrClosed is returned by Step (and everything built on it) after
+	// Close.
+	ErrClosed = errors.New("laser: session closed")
+	// ErrRunning is returned by Result while the workload has not yet
+	// run to completion.
+	ErrRunning = errors.New("laser: session still running")
+)
+
+// EpochReport describes one detect→repair epoch of a session: its
+// windowed detection report and the monitoring activity it cost.
+type EpochReport struct {
+	// Epoch is the epoch's index, starting at 0.
+	Epoch int
+	// Seconds is the epoch's observation window (simulated).
+	Seconds float64
+	// Report is the detector's report over this epoch's records only.
+	Report *core.Report
+	// Repaired says whether the epoch ended with a repair hot-swap
+	// (false for the final epoch, which ends with the workload).
+	Repaired bool
+	// Driver and PEBS are the monitoring-cost deltas incurred during
+	// this epoch.
+	Driver driver.Stats
+	PEBS   pebs.Stats
+}
+
+// Session is a live LASER monitoring session around one workload image —
+// the paper's Figure 8 architecture with an explicit lifecycle. Attach
+// builds the full stack (machine, PEBS unit, kernel driver model,
+// LASERDETECT pipeline, LASERREPAIR controller); Step advances the
+// monitor by one poll interval; Run/Wait drive it to completion;
+// Snapshot produces a mid-run report at any moment; Events and
+// WithObserver stream typed events as monitoring unfolds.
+//
+// Unlike the one-shot Run, a session is multi-epoch: when LASERREPAIR
+// rewrites the program, the rewrite's PC translation table is threaded
+// into the detector, which re-arms and keeps attributing post-repair
+// HITM records to the original binary. A later contention flare-up can
+// trigger repair again (up to the epoch budget); each epoch's windowed
+// report and monitoring cost land in Result.Epochs.
+//
+// A Session is not safe for concurrent use: drive it from one goroutine.
+// The Events channel may be consumed from any goroutine.
+type Session struct {
+	cfg                Config
+	monitorAfterRepair bool
+	observers          []func(Event)
+	stream             *eventStream
+
+	img  *workload.Image
+	m    *machine.Machine
+	drv  *driver.Driver
+	pmu  *pebs.Unit
+	pipe *core.Pipeline
+	ctl  *repair.Controller
+
+	next   uint64 // next poll deadline (simulated cycles)
+	done   bool
+	closed bool
+
+	epoch      int
+	epochStart float64      // seconds at the current epoch's start
+	epochDrv   driver.Stats // stats snapshots at the epoch's start
+	epochPEBS  pebs.Stats
+	epochs     []EpochReport
+	lastGen    int // repair controller generation last seen
+
+	repairApplied bool
+	repairErr     error
+	// covered are candidate PCs already handed to the repair controller;
+	// the trigger only re-fires when fresh candidates appear, so a
+	// residual false-sharing tail at an already-rewritten site does not
+	// spin the trigger, while new contention later still repairs.
+	covered map[mem.Addr]bool
+
+	res *Result
+}
+
+// Attach builds the full LASER stack around an already-built workload
+// image and returns the session, stopped at cycle zero. Options are
+// applied over DefaultConfig; the first invalid option or configuration
+// aborts the attach. The caller should Close the session when done with
+// it.
+//
+// Note that Attach monitors the image exactly as built: the heap
+// perturbation the fork-based attach inflicts on a process (AttachBias)
+// is a build-time option, applied by the Run convenience wrapper.
+func Attach(img *workload.Image, opts ...Option) (*Session, error) {
+	st := settings{cfg: DefaultConfig(), monitorAfterRepair: true}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&st); err != nil {
+			return nil, fmt.Errorf("laser: %w", err)
+		}
+	}
+	if st.cfg.MaxEpochs == 0 {
+		st.cfg.MaxEpochs = DefaultMaxEpochs
+	}
+	if err := st.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return newSession(img, st)
+}
+
+// newSession wires the Figure 8 processes together. st.cfg must already
+// be validated.
+func newSession(img *workload.Image, st settings) (*Session, error) {
+	cfg := st.cfg
+	vm := img.VMMap()
+	drv := driver.New(cfg.Driver)
+	pmu := pebs.New(cfg.PEBS, cfg.Cores, img.Prog, vm, drv)
+	pipe, err := core.NewPipeline(cfg.Detector, vm.Render(), img.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("laser: %w", err)
+	}
+
+	var ctl *repair.Controller
+	mcfg := machine.Config{
+		Cores:     cfg.Cores,
+		Probe:     pmu,
+		MaxCycles: cfg.MaxCycles,
+		OnAliasMiss: func(tid int, pc mem.Addr) {
+			if ctl != nil {
+				ctl.OnAliasMiss(tid, pc)
+			}
+		},
+	}
+	m := machine.New(img.Prog, mcfg, img.Specs)
+	img.Init(m)
+	ctl = repair.NewController(cfg.Repair, m)
+
+	return &Session{
+		cfg:                cfg,
+		monitorAfterRepair: st.monitorAfterRepair,
+		observers:          st.observers,
+		img:                img,
+		m:                  m,
+		drv:                drv,
+		pmu:                pmu,
+		pipe:               pipe,
+		ctl:                ctl,
+		next:               cfg.PollInterval,
+	}, nil
+}
+
+// Events returns the session's event channel. The channel never blocks
+// the session (events queue internally without bound) and is closed by
+// Close; consume it until closed. Repeated calls return the same
+// channel.
+func (s *Session) Events() <-chan Event {
+	if s.stream == nil {
+		s.stream = newEventStream()
+		s.observers = append(s.observers, s.stream.push)
+		if s.closed {
+			s.stream.close()
+		}
+	}
+	return s.stream.ch
+}
+
+// emit delivers an event to every observer, synchronously and in order.
+func (s *Session) emit(e Event) {
+	for _, fn := range s.observers {
+		fn(e)
+	}
+}
+
+// EpochIndex returns the detection epoch in progress.
+func (s *Session) EpochIndex() int { return s.epoch }
+
+// Stats returns the monitored machine's statistics so far.
+func (s *Session) Stats() *machine.Stats { return s.m.Stats() }
+
+// Snapshot returns the detector's cumulative report at this moment,
+// using the configured rate threshold — the exit report, available at
+// any point mid-run.
+func (s *Session) Snapshot() *core.Report {
+	return s.SnapshotAt(s.cfg.Detector.RateThreshold)
+}
+
+// SnapshotAt is Snapshot with an explicit rate threshold: the Figure 9
+// offline re-thresholding, applicable mid-run because the detector
+// retains its aggregates.
+func (s *Session) SnapshotAt(threshold float64) *core.Report {
+	return s.pipe.ReportAt(s.m.Stats().Seconds(), threshold)
+}
+
+// EpochSnapshot returns the detector's report over only the current
+// epoch's window so far.
+func (s *Session) EpochSnapshot() *core.Report {
+	return s.pipe.EpochReportAt(s.m.Stats().Seconds(), s.cfg.Detector.RateThreshold)
+}
+
+// Step advances the session by one poll interval: the workload runs
+// until the next poll deadline, the driver device is drained, records
+// feed the detection pipeline, and the repair trigger is checked — one
+// iteration of the Figure 8 monitor loop. It returns done=true once the
+// workload has run to completion and the session result is final.
+func (s *Session) Step() (bool, error) {
+	if s.closed {
+		return true, ErrClosed
+	}
+	if s.done {
+		return true, nil
+	}
+	done, err := s.m.RunFor(s.next)
+	if err != nil {
+		s.done = true
+		return true, err
+	}
+	s.ingest()
+	if done {
+		s.finish()
+		return true, nil
+	}
+	s.maybeRepair()
+	s.next += s.cfg.PollInterval
+	return false, nil
+}
+
+// RunFor advances the session by at least the given number of simulated
+// cycles (rounded up to whole poll intervals). It returns done=true if
+// the workload completed within the slice.
+func (s *Session) RunFor(cycles uint64) (bool, error) {
+	deadline := s.m.Stats().Cycles + cycles
+	for {
+		done, err := s.Step()
+		if done || err != nil {
+			return done, err
+		}
+		if s.m.Stats().Cycles >= deadline {
+			return false, nil
+		}
+	}
+}
+
+// Run drives the session to completion, checking ctx between steps. On
+// cancellation it returns the context's error with a partial Result
+// (pipeline state for offline analysis; no final stats).
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return s.partialResult(), err
+		}
+		done, err := s.Step()
+		if err != nil {
+			return s.partialResult(), err
+		}
+		if done {
+			return s.Result()
+		}
+	}
+}
+
+// Wait drives the session to completion and returns the final Result.
+func (s *Session) Wait() (*Result, error) {
+	return s.Run(context.Background())
+}
+
+// Result returns the session's aggregated result. It is available once
+// the workload has run to completion (Step returned done, or Run/Wait
+// returned).
+func (s *Session) Result() (*Result, error) {
+	if s.res == nil {
+		return nil, ErrRunning
+	}
+	return s.res, nil
+}
+
+// Close releases the session: the event stream is closed (after
+// delivering anything still queued) and further Steps fail with
+// ErrClosed. Closing neither aborts nor completes the simulated
+// workload; a session may be closed at any point, and Close is
+// idempotent.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.stream != nil {
+		s.stream.close()
+	}
+	return nil
+}
+
+// frozen reports whether monitoring results are frozen: a repair is
+// installed and the session was asked for the one-shot behaviour, where
+// the exit report keeps the pre-repair contention (the paper's
+// detector does the same).
+func (s *Session) frozen() bool {
+	return s.repairApplied && !s.monitorAfterRepair
+}
+
+// ingest drains the driver device and feeds the pipeline (unless
+// frozen), refreshing the PC remap table first so post-repair records
+// attribute to the original program.
+func (s *Session) ingest() {
+	recs := s.drv.Poll()
+	if s.frozen() {
+		if len(recs) > 0 {
+			s.emit(SampleBatch{common: s.at(), Records: len(recs), Dropped: true})
+		}
+		return
+	}
+	s.refreshRemap()
+	s.pipe.Feed(recs)
+	if len(recs) > 0 {
+		s.emit(SampleBatch{common: s.at(), Records: len(recs)})
+	}
+}
+
+// refreshRemap re-reads the repair controller's PC translation table
+// after any program hot-swap (install, conservative refinement, undo).
+func (s *Session) refreshRemap() {
+	if gen := s.ctl.Generation(); gen != s.lastGen {
+		s.pipe.SetPCRemap(s.ctl.PCRemap())
+		s.lastGen = gen
+	}
+}
+
+// at stamps an event with the current cycle and epoch.
+func (s *Session) at() common {
+	return common{Cycle: s.m.Stats().Cycles, EpochIndex: s.epoch}
+}
+
+// maybeRepair runs the §4.4 trigger check and, when it fires with fresh
+// candidates, hands them to LASERREPAIR. A successful hot-swap ends the
+// epoch.
+func (s *Session) maybeRepair() {
+	if !s.cfg.EnableRepair || s.repairErr != nil || s.epoch >= s.cfg.MaxEpochs {
+		return
+	}
+	st := s.m.Stats()
+	seconds := st.Seconds()
+	pcs, ok := s.pipe.RepairCandidates(seconds)
+	if !ok {
+		return
+	}
+	if s.covered != nil {
+		fresh := false
+		for _, pc := range pcs {
+			if !s.covered[pc] {
+				fresh = true
+				break
+			}
+		}
+		if !fresh {
+			return
+		}
+	}
+	s.emit(RepairTriggered{common: s.at(), Candidates: pcs})
+	// Records still sitting in per-core PEBS buffers were sampled from
+	// the program about to be replaced; flush and feed them under the
+	// current remap table before the swap, or they would be translated
+	// with the wrong table later. The one-shot wrappers freeze
+	// monitoring at the repair instead — there the stragglers are
+	// dropped, exactly as the historical implementation did.
+	if s.monitorAfterRepair {
+		s.pmu.Drain()
+		s.ingest()
+	}
+	genBefore := s.ctl.Generation()
+	if err := s.ctl.Apply(pcs); err != nil {
+		s.repairErr = err
+		s.emit(RepairDeclined{common: s.at(), Err: err})
+		return
+	}
+	if s.covered == nil {
+		s.covered = make(map[mem.Addr]bool, len(pcs))
+	}
+	for _, pc := range pcs {
+		s.covered[pc] = true
+	}
+	if s.ctl.Generation() == genBefore {
+		// Every candidate was already covered by the installed rewrite;
+		// nothing changed, so the epoch keeps running.
+		return
+	}
+	s.repairApplied = true
+	s.refreshRemap()
+	s.emit(RepairApplied{common: s.at(), Conservative: s.ctl.Conservative()})
+	s.endEpoch(seconds, true)
+}
+
+// endEpoch archives the epoch's windowed report and monitoring cost and
+// emits DetectionReport and EpochEnd. After a repair (repaired true) it
+// also re-arms the pipeline for the next epoch; the final epoch — closed
+// by the workload ending — leaves the pipeline's counters intact so
+// offline analysis (RepairCandidates, re-thresholding) still sees them.
+func (s *Session) endEpoch(seconds float64, repaired bool) {
+	drvNow, pmuNow := s.drv.Stats(), s.pmu.Stats()
+	ep := EpochReport{
+		Epoch:    s.epoch,
+		Seconds:  seconds - s.epochStart,
+		Report:   s.pipe.EpochReportAt(seconds, s.cfg.Detector.RateThreshold),
+		Repaired: repaired,
+		Driver:   drvNow.Sub(s.epochDrv),
+		PEBS:     pmuNow.Sub(s.epochPEBS),
+	}
+	s.epochs = append(s.epochs, ep)
+	s.emit(DetectionReport{common: s.at(), Report: ep.Report})
+	s.emit(EpochEnd{common: s.at(), Repaired: repaired, Report: ep.Report})
+	if repaired {
+		s.epoch++
+		s.epochStart = seconds
+		s.epochDrv, s.epochPEBS = drvNow, pmuNow
+		s.pipe.BeginEpoch(seconds)
+	}
+}
+
+// finish runs when the workload completes: residual PEBS buffers drain
+// through the driver, the final epoch closes, and the Result is built.
+func (s *Session) finish() {
+	s.done = true
+	s.pmu.Drain()
+	s.ingest()
+
+	st := s.m.Stats()
+	seconds := st.Seconds()
+	s.endEpoch(seconds, false)
+
+	s.res = &Result{
+		Stats:         st,
+		Report:        s.pipe.Report(seconds),
+		Pipeline:      s.pipe,
+		RepairApplied: s.repairApplied,
+		RepairErr:     s.repairErr,
+		Seconds:       seconds,
+		DriverStats:   s.drv.Stats(),
+		PEBSStats:     s.pmu.Stats(),
+		DetectorCycle: s.pipe.DetectorCycles(),
+		Epochs:        s.epochs,
+	}
+}
+
+// partialResult mirrors what the one-shot path returned alongside an
+// error: the pipeline (for offline analysis) and the repair outcome so
+// far, without final statistics.
+func (s *Session) partialResult() *Result {
+	return &Result{
+		Pipeline:      s.pipe,
+		RepairApplied: s.repairApplied,
+		RepairErr:     s.repairErr,
+		Epochs:        s.epochs,
+	}
+}
