@@ -4,17 +4,31 @@
 // Usage:
 //
 //	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
-//	           [-ascale N] [-pscale N] [-runs N]
+//	           [-ascale N] [-pscale N] [-runs N] [-intra N]
+//	           [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Independent simulations run concurrently on every host core; set
-// LASER_BENCH_PARALLEL to pick the worker count (1 = fully serial). The
-// rendered output is byte-identical at any parallelism.
+// LASER_BENCH_PARALLEL to pick the worker count (1 = fully serial).
+// When a phase has fewer runnable simulations than host workers, the
+// leftovers move inside each simulated machine via the intra-run
+// parallel engine; -intra (or LASER_BENCH_INTRA) overrides the split.
+// The rendered output is byte-identical at any parallelism, on either
+// axis — only wall time changes.
+//
+// -json additionally writes machine-readable results — per-figure wall
+// time, key scalar metrics, and a serial-vs-parallel engine
+// microbenchmark with ns per simulated instruction — to FILE (CI uploads
+// BENCH_PR3.json as an artifact). -cpuprofile and -memprofile capture
+// pprof profiles of the whole run; see EXPERIMENTS.md for the profiling
+// workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -25,32 +39,75 @@ func main() {
 	ascale := flag.Float64("ascale", 20, "accuracy experiment scale")
 	pscale := flag.Float64("pscale", 1, "performance experiment scale")
 	runs := flag.Int("runs", 3, "runs per performance data point")
+	intra := flag.Int("intra", 0, "intra-run engine workers per simulation (0 = automatic split)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
+	fail := func(err error) {
+		// Flush an in-flight CPU profile before exiting (StopCPUProfile
+		// is a no-op when none is active): a truncated profile from a
+		// failing run is exactly when the data is wanted.
+		pprof.StopCPUProfile()
+		fmt.Fprintln(os.Stderr, "laserbench:", err)
+		os.Exit(1)
+	}
+
+	if *intra > 0 {
+		os.Setenv("LASER_BENCH_INTRA", fmt.Sprint(*intra))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := experiments.Config{AccuracyScale: *ascale, PerfScale: *pscale, Runs: *runs}
+	bench := experiments.NewBenchReport(cfg)
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "laserbench:", err)
-		os.Exit(1)
-	}
-
 	if all || want["fig3"] {
-		_, sums, err := experiments.RunFigure3()
+		err := bench.Time("fig3", func() (map[string]float64, error) {
+			_, sums, err := experiments.RunFigure3()
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println(experiments.RenderFigure3(sums))
+			m := map[string]float64{}
+			for _, s := range sums {
+				m[string(s.Category)+"_addr_pct"] = 100 * s.AddrOK
+			}
+			return m, nil
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.RenderFigure3(sums))
 	}
 	var acc *experiments.AccuracyResult
 	needAcc := all || want["tab1"] || want["tab2"] || want["fig9"]
 	if needAcc {
-		var err error
-		acc, err = experiments.RunAccuracy(cfg)
+		err := bench.Time("accuracy", func() (map[string]float64, error) {
+			var err error
+			acc, err = experiments.RunAccuracy(cfg)
+			if err != nil {
+				return nil, err
+			}
+			bugs, lfn, lfp, _, _, _, _ := acc.Totals()
+			return map[string]float64{
+				"bugs": float64(bugs), "laser_fn": float64(lfn), "laser_fp": float64(lfp),
+			}, nil
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -65,42 +122,113 @@ func main() {
 		fmt.Println(experiments.RenderFigure9(acc.Figure9()))
 	}
 	if all || want["fig10"] {
-		rows, err := experiments.RunFigure10(cfg)
+		err := bench.Time("fig10", func() (map[string]float64, error) {
+			rows, err := experiments.RunFigure10(cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println(experiments.RenderFigure10(rows))
+			lg, vg := experiments.Geomeans(rows)
+			return map[string]float64{"laser_geomean": lg, "vtune_geomean": vg}, nil
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.RenderFigure10(rows))
 	}
 	if all || want["fig11"] {
 		if *pscale < 0.5 {
 			fmt.Fprintf(os.Stderr, "laserbench: note: -pscale %g is below ~0.5, the online-repair "+
 				"trigger may not fire; affected Figure 11 rows will be marked explicitly\n", *pscale)
 		}
-		rows, err := experiments.RunFigure11(cfg)
+		err := bench.Time("fig11", func() (map[string]float64, error) {
+			rows, err := experiments.RunFigure11(cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println(experiments.RenderFigure11(rows))
+			m := map[string]float64{}
+			for _, r := range rows {
+				if r.Mode == "automatic" && !r.NoRepair {
+					m["auto_"+r.Workload] = r.Speedup
+				}
+			}
+			return m, nil
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.RenderFigure11(rows))
 	}
 	if all || want["fig12"] {
-		rows, err := experiments.RunFigure12(cfg)
+		err := bench.Time("fig12", func() (map[string]float64, error) {
+			rows, err := experiments.RunFigure12(cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println(experiments.RenderFigure12(rows))
+			return map[string]float64{"workloads_over_10pct": float64(len(rows))}, nil
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.RenderFigure12(rows))
 	}
 	if all || want["fig13"] {
-		points, err := experiments.RunFigure13(cfg)
+		err := bench.Time("fig13", func() (map[string]float64, error) {
+			points, err := experiments.RunFigure13(cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println(experiments.RenderFigure13(points))
+			m := map[string]float64{}
+			for _, p := range points {
+				if p.SAV == 1 || p.SAV == 19 {
+					m[fmt.Sprintf("sav%d", p.SAV)] = p.Normalized
+				}
+			}
+			return m, nil
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.RenderFigure13(points))
 	}
 	if all || want["fig14"] {
-		rows, err := experiments.RunFigure14(cfg)
+		err := bench.Time("fig14", func() (map[string]float64, error) {
+			rows, err := experiments.RunFigure14(cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println(experiments.RenderFigure14(rows))
+			return nil, nil
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.RenderFigure14(rows))
+	}
+
+	if *jsonPath != "" {
+		// The engine microbenchmark: one private-heavy and one contended
+		// workload, at accuracy scale, serial vs intra-run parallel.
+		workers := *intra
+		if workers <= 1 {
+			workers = 4
+		}
+		if err := bench.MeasureIntraRun([]string{"histogram", "swaptions", "histogram'"},
+			*ascale, workers); err != nil {
+			fail(err)
+		}
+		if err := bench.WriteFile(*jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "laserbench: wrote %s\n", *jsonPath)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
 	}
 }

@@ -37,16 +37,29 @@
 // bit for bit. BenchmarkMachineStep, BenchmarkCoherenceAccess and
 // BenchmarkMemoryLoadStore (in internal/machine and internal/coherence)
 // measure the per-instruction, per-directory-access and per-load/store
-// hot paths; the load/store path runs at 0 allocs/op.
+// hot paths; the load/store path and the Session's streaming Step both
+// run at 0 allocs/op.
+//
+// A single simulated machine can also execute on several host threads:
+// the intra-run parallel engine (machine.Config.Parallelism,
+// laser.WithIntraRunParallelism) runs each core's thread-private
+// instruction stretches concurrently — guided by a static per-(thread,
+// PC) sharing analysis in internal/isa plus the workloads' declared
+// thread-private allocations — and retires every globally-visible event
+// serially in the exact serial-schedule order, so results are
+// byte-identical to the serial engine at any worker count. See
+// DESIGN.md, "The two execution engines".
 //
 // The experiment harness in internal/experiments fans independent
-// (workload, tool, seed) simulations out across all host cores — each
-// Machine is single-threaded, so runs parallelize safely — and memoizes
-// the deterministic native (unmonitored) baselines by (workload, scale,
-// variant) so no figure re-simulates one. LASER_BENCH_PARALLEL selects
-// the worker count (default GOMAXPROCS; 1 recovers the serial harness);
-// results are assembled in index order, so every rendered table and
-// figure is byte-identical at any parallelism. LASER_BENCH_ASCALE,
-// LASER_BENCH_PSCALE and LASER_BENCH_RUNS scale the benchmark suite in
-// bench_test.go.
+// (workload, tool, seed) simulations out across all host cores and
+// memoizes the deterministic native (unmonitored) baselines by
+// (workload, scale, variant) so no figure re-simulates one. When a
+// phase has fewer runnable simulations than host workers, the leftover
+// workers move inside each machine via the intra-run engine.
+// LASER_BENCH_PARALLEL selects the pool worker count (default
+// GOMAXPROCS; 1 recovers the serial harness) and LASER_BENCH_INTRA
+// overrides the intra-run split; results are assembled in index order,
+// so every rendered table and figure is byte-identical at any
+// parallelism on either axis. LASER_BENCH_ASCALE, LASER_BENCH_PSCALE
+// and LASER_BENCH_RUNS scale the benchmark suite in bench_test.go.
 package repro

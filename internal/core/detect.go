@@ -6,7 +6,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -141,6 +143,10 @@ type Pipeline struct {
 	epochStart float64 // observation seconds when the epoch began
 	elines     map[isa.SourceLoc]*lineStat
 	efsByPC    map[mem.Addr]uint64
+
+	// sortBuf is the reusable staging slice of Feed's timestamp sort, so
+	// the streaming hot path stops allocating a copy per poll.
+	sortBuf []driver.Record
 }
 
 // NewPipeline builds a detector for a process described by its memory map
@@ -191,11 +197,16 @@ func (p *Pipeline) BeginEpoch(seconds float64) {
 // Feed pushes a batch of driver records through the pipeline. Records are
 // re-ordered by their hardware timestamp first: per-core PEBS buffers
 // arrive as batches, but the cache line model needs the interleaved global
-// order in which the HITM events actually occurred.
+// order in which the HITM events actually occurred. The staging copy is
+// reused across calls, so a quiet poll interval costs nothing and a busy
+// one allocates only until the buffer has grown to the high-water mark.
 func (p *Pipeline) Feed(recs []driver.Record) {
-	sorted := append([]driver.Record(nil), recs...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Cycles < sorted[j].Cycles })
-	for _, r := range sorted {
+	if len(recs) == 0 {
+		return
+	}
+	p.sortBuf = append(p.sortBuf[:0], recs...)
+	slices.SortStableFunc(p.sortBuf, func(a, b driver.Record) int { return cmp.Compare(a.Cycles, b.Cycles) })
+	for _, r := range p.sortBuf {
 		p.feedOne(r)
 	}
 	p.cycles += uint64(len(recs)) * p.cfg.ProcessCyclesPerRecord
@@ -331,20 +342,39 @@ type Report struct {
 // reads the retained counters, at any point mid-run (a session snapshot),
 // not just at exit.
 func (p *Pipeline) ReportAt(seconds, threshold float64) *Report {
-	return p.reportFrom(p.lines, seconds, threshold)
+	rep := &Report{}
+	p.reportInto(rep, p.lines, seconds, threshold)
+	return rep
+}
+
+// ReportAtInto is ReportAt without the allocation: it rebuilds dst in
+// place, reusing dst.Lines' backing array. Streaming consumers that
+// snapshot every poll interval use it to keep the snapshot path free of
+// per-call garbage; the dst contents are overwritten wholesale.
+func (p *Pipeline) ReportAtInto(dst *Report, seconds, threshold float64) {
+	p.reportInto(dst, p.lines, seconds, threshold)
 }
 
 // EpochReportAt computes a report over only the records of the detection
 // epoch in progress, with the observation window measured from the
 // epoch's start. It is the windowed counterpart of ReportAt.
 func (p *Pipeline) EpochReportAt(seconds, threshold float64) *Report {
-	return p.reportFrom(p.elines, seconds-p.epochStart, threshold)
+	rep := &Report{}
+	p.reportInto(rep, p.elines, seconds-p.epochStart, threshold)
+	return rep
 }
 
-func (p *Pipeline) reportFrom(lines map[isa.SourceLoc]*lineStat, seconds, threshold float64) *Report {
-	rep := &Report{Seconds: seconds}
+// EpochReportAtInto is EpochReportAt with the buffer reuse of
+// ReportAtInto.
+func (p *Pipeline) EpochReportAtInto(dst *Report, seconds, threshold float64) {
+	p.reportInto(dst, p.elines, seconds-p.epochStart, threshold)
+}
+
+func (p *Pipeline) reportInto(rep *Report, lines map[isa.SourceLoc]*lineStat, seconds, threshold float64) {
+	rep.Lines = rep.Lines[:0]
+	rep.Seconds = seconds
 	if seconds <= 0 {
-		return rep
+		return
 	}
 	for loc, ls := range lines {
 		rate := float64(ls.records) * float64(p.cfg.SAV) / seconds
@@ -364,13 +394,20 @@ func (p *Pipeline) reportFrom(lines map[isa.SourceLoc]*lineStat, seconds, thresh
 		}
 		rep.Lines = append(rep.Lines, rl)
 	}
-	sort.Slice(rep.Lines, func(i, j int) bool {
-		if rep.Lines[i].Rate != rep.Lines[j].Rate {
-			return rep.Lines[i].Rate > rep.Lines[j].Rate
+	// The comparator matches the historical sort.Slice exactly — rate
+	// descending, then the rendered location string — so reports stay
+	// byte-identical; slices.SortFunc spares the closure and interface
+	// boxing of sort.Slice, and locations are distinct map keys, so the
+	// order is total and unique.
+	slices.SortFunc(rep.Lines, func(a, b ReportLine) int {
+		if a.Rate != b.Rate {
+			if a.Rate > b.Rate {
+				return -1
+			}
+			return 1
 		}
-		return rep.Lines[i].Loc.String() < rep.Lines[j].Loc.String()
+		return strings.Compare(a.Loc.String(), b.Loc.String())
 	})
-	return rep
 }
 
 // Report uses the configured default threshold.

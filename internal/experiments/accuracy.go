@@ -62,12 +62,13 @@ func RunAccuracy(cfg Config) (*AccuracyResult, error) {
 	names := workloadNames()
 	rows := make([]Tab1Row, len(names))
 	subs := make([]*AccuracyResult, len(names))
+	intra := intraRunWorkers(len(names))
 	err := forEach(len(names), func(i int) error {
 		sub := &AccuracyResult{
 			pipelines: make(map[string]*core.Pipeline),
 			seconds:   make(map[string]float64),
 		}
-		row, err := accuracyRow(cfg, names[i], sub)
+		row, err := accuracyRow(cfg, names[i], intra, sub)
 		if err != nil {
 			return fmt.Errorf("accuracy %s: %w", names[i], err)
 		}
@@ -93,7 +94,7 @@ func RunAccuracy(cfg Config) (*AccuracyResult, error) {
 	return res, nil
 }
 
-func accuracyRow(cfg Config, name string, res *AccuracyResult) (Tab1Row, error) {
+func accuracyRow(cfg Config, name string, intra int, res *AccuracyResult) (Tab1Row, error) {
 	bugs := bugdb.For(name)
 	row := Tab1Row{Workload: name, Bugs: len(bugs)}
 	if len(bugs) > 0 {
@@ -101,7 +102,7 @@ func accuracyRow(cfg Config, name string, res *AccuracyResult) (Tab1Row, error) 
 	}
 
 	// LASER: detection only (repair would freeze monitoring early).
-	lres, err := runLaser(name, cfg.AccuracyScale, false, laserSAV, 1)
+	lres, err := runLaser(name, cfg.AccuracyScale, false, laserSAV, 1, intra)
 	if err != nil {
 		return row, err
 	}
@@ -122,7 +123,7 @@ func accuracyRow(cfg Config, name string, res *AccuracyResult) (Tab1Row, error) 
 	row.LaserFN, row.LaserFP = score(name, laserLocs)
 
 	// VTune.
-	v, err := runVTune(name, cfg.AccuracyScale, 1)
+	v, err := runVTune(name, cfg.AccuracyScale, 1, intra)
 	if err != nil {
 		return row, err
 	}
@@ -136,7 +137,7 @@ func accuracyRow(cfg Config, name string, res *AccuracyResult) (Tab1Row, error) 
 	row.VTuneFN, row.VTuneFP = score(name, vtuneLocs)
 
 	// Sheriff-Detect.
-	sh, err := runSheriff(name, cfg.AccuracyScale, sheriff.Detect, false)
+	sh, err := runSheriff(name, cfg.AccuracyScale, sheriff.Detect, false, intra)
 	if err != nil {
 		return row, err
 	}

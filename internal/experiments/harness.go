@@ -48,16 +48,49 @@ func QuickConfig() Config {
 
 // Parallelism returns the worker count of the experiment pool: the value
 // of LASER_BENCH_PARALLEL when set to a positive integer (1 recovers the
-// fully serial harness), otherwise GOMAXPROCS. Every simulated Machine is
-// single-threaded and runs share no mutable state, so independent
-// (workload, tool, seed) simulations parallelize freely; results are
-// assembled by index, which keeps every rendered table byte-identical to
-// the serial order no matter how the runs interleave.
+// fully serial harness), otherwise GOMAXPROCS. Runs share no mutable
+// state, so independent (workload, tool, seed) simulations parallelize
+// freely; results are assembled by index, which keeps every rendered
+// table byte-identical to the serial order no matter how the runs
+// interleave.
 func Parallelism() int {
 	if v, err := strconv.Atoi(os.Getenv("LASER_BENCH_PARALLEL")); err == nil && v > 0 {
 		return v
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// simCores is the simulated core count of every evaluation machine (the
+// paper's 4-core Haswell); runLaser/runNative/runVTune/runSheriff all
+// build machines with it.
+const simCores = 4
+
+// intraRunWorkers splits the host workers between run-level and intra-run
+// parallelism for a phase of `tasks` independent runs: with at least as
+// many runs as host workers, run-level parallelism alone saturates the
+// machine and every simulation stays serial (1); with fewer runs — a
+// small figure, a single high-scale simulation — the leftover workers go
+// *inside* each machine via the intra-run parallel engine, capped at
+// simCores (more segment workers than simulated cores cannot help).
+// LASER_BENCH_INTRA overrides the split (1 forces serial engines
+// everywhere). Results are byte-identical at any setting; only wall time
+// changes.
+func intraRunWorkers(tasks int) int {
+	if v, err := strconv.Atoi(os.Getenv("LASER_BENCH_INTRA")); err == nil && v >= 1 {
+		return v
+	}
+	w := Parallelism()
+	if tasks < 1 {
+		tasks = 1
+	}
+	if w <= tasks {
+		return 1
+	}
+	n := w / tasks
+	if n > simCores {
+		n = simCores
+	}
+	return n
 }
 
 // forEach runs fn(0)..fn(n-1) on the worker pool. Each index's results
@@ -120,7 +153,7 @@ func forEach(n int, fn func(i int) error) error {
 // detect→repair epoch with monitoring frozen after a rewrite — the
 // legacy laser.Run semantics — so every rendered table and figure is
 // byte-identical to the one-shot path.
-func runLaser(name string, scale float64, repairOn bool, sav int, seed int64) (*laser.Result, error) {
+func runLaser(name string, scale float64, repairOn bool, sav int, seed int64, intra int) (*laser.Result, error) {
 	w, ok := workload.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
@@ -135,7 +168,8 @@ func runLaser(name string, scale float64, repairOn bool, sav int, seed int64) (*
 		laser.WithConfig(cfg),
 		laser.WithRepair(repairOn),
 		laser.WithMaxEpochs(1),
-		laser.WithPostRepairMonitoring(false))
+		laser.WithPostRepairMonitoring(false),
+		laser.WithIntraRunParallelism(intra))
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +200,10 @@ var nativeRuns sync.Map // nativeKey → *nativeEntry
 
 // runNative executes one workload without monitoring and returns its
 // stats. The result is memoized; callers must treat it as read-only.
-func runNative(name string, scale float64, variant workload.Variant) (*machine.Stats, error) {
+// intra only affects the first (computing) caller's wall time — the
+// simulated statistics are byte-identical at any worker count, which is
+// what makes the cache sound.
+func runNative(name string, scale float64, variant workload.Variant, intra int) (*machine.Stats, error) {
 	e, _ := nativeRuns.LoadOrStore(nativeKey{name, scale, variant}, &nativeEntry{})
 	ent := e.(*nativeEntry)
 	ent.once.Do(func() {
@@ -176,7 +213,7 @@ func runNative(name string, scale float64, variant workload.Variant) (*machine.S
 			return
 		}
 		img := w.Build(workload.Options{Scale: scale, Variant: variant})
-		ent.st, ent.err = laser.RunNative(img, 4)
+		ent.st, ent.err = laser.RunNativeParallel(img, simCores, intra)
 	})
 	return ent.st, ent.err
 }
@@ -189,7 +226,7 @@ type vtuneOutcome struct {
 }
 
 // runVTune executes one workload under the VTune model.
-func runVTune(name string, scale float64, seed int64) (*vtuneOutcome, error) {
+func runVTune(name string, scale float64, seed int64, intra int) (*vtuneOutcome, error) {
 	w, ok := workload.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
@@ -197,10 +234,11 @@ func runVTune(name string, scale float64, seed int64) (*vtuneOutcome, error) {
 	img := w.Build(workload.Options{Scale: scale, HeapBias: laser.AttachBias})
 	vcfg := vtune.DefaultConfig()
 	vcfg.Seed = seed
-	prof := vtune.New(vcfg, 4, img.Prog, img.VMMap())
+	prof := vtune.New(vcfg, simCores, img.Prog, img.VMMap())
 	ei, el := prof.MachineConfig()
 	m := machine.New(img.Prog, machine.Config{
-		Cores: 4, Probe: prof, ExtraInstrCycles: ei, ExtraLoadCycles: el,
+		Cores: simCores, Probe: prof, ExtraInstrCycles: ei, ExtraLoadCycles: el,
+		Parallelism: intra, PrivateData: img.PrivateRanges(),
 	}, img.Specs)
 	img.Init(m)
 	st, err := m.Run()
@@ -220,7 +258,7 @@ type sheriffOutcome struct {
 // runSheriff executes one workload under the Sheriff execution model.
 // Gated workloads return their status without running, unless force is
 // set (the Figure 14 simlarge runs).
-func runSheriff(name string, scale float64, mode sheriff.Mode, force bool) (*sheriffOutcome, error) {
+func runSheriff(name string, scale float64, mode sheriff.Mode, force bool, intra int) (*sheriffOutcome, error) {
 	w, ok := workload.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
@@ -231,8 +269,9 @@ func runSheriff(name string, scale float64, mode sheriff.Mode, force bool) (*she
 	img := w.Build(workload.Options{Scale: scale})
 	det := sheriff.NewDetector(mode, sheriff.DefaultConfig(), img.ResolveLine)
 	m := machine.New(img.Prog, machine.Config{
-		Cores: 4, PrivateMemory: true, OnCommit: det.OnCommit,
-		MaxCycles: 1 << 38,
+		Cores: simCores, PrivateMemory: true, OnCommit: det.OnCommit,
+		MaxCycles:   1 << 38,
+		Parallelism: intra, PrivateData: img.PrivateRanges(),
 	}, img.Specs)
 	img.Init(m)
 	st, err := m.Run()
@@ -246,9 +285,9 @@ func runSheriff(name string, scale float64, mode sheriff.Mode, force bool) (*she
 // normalizedRuntime runs a configuration Runs times (varying the sampling
 // seed) and returns the trimmed-mean runtime normalized to the native
 // trimmed mean.
-func normalizedRuntime(cfg Config, name string, run func(seed int64) (uint64, error)) (float64, error) {
+func normalizedRuntime(cfg Config, name string, intra int, run func(seed int64) (uint64, error)) (float64, error) {
 	native, err := repeated(cfg, func(int64) (uint64, error) {
-		st, err := runNative(name, cfg.PerfScale, workload.Native)
+		st, err := runNative(name, cfg.PerfScale, workload.Native, intra)
 		if err != nil {
 			return 0, err
 		}

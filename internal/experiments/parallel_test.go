@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -68,15 +69,64 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestIntraRunEquivalence regenerates Figure 11 (native baselines, full
+// LASER sessions with online repair, manual-fix runs) with the intra-run
+// parallel engine forced on inside every simulated machine, and demands
+// the byte-identical render of the serial-engine run. Together with
+// TestSerialParallelEquivalence this pins the harness contract for both
+// parallelism axes.
+func TestIntraRunEquivalence(t *testing.T) {
+	cfg := Config{AccuracyScale: 2, PerfScale: 0.5, Runs: 1}
+	capture := func() string {
+		// The native-baseline memo must not leak runs across engine
+		// settings within this test, or the comparison would be
+		// vacuous; distinct scales per env setting would defeat the
+		// point, so clear it instead.
+		nativeRuns = sync.Map{}
+		rows, err := RunFigure11(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderFigure11(rows)
+	}
+	t.Setenv("LASER_BENCH_INTRA", "1")
+	serial := capture()
+	t.Setenv("LASER_BENCH_INTRA", "3")
+	intra := capture()
+	if serial != intra {
+		t.Errorf("Figure 11 differs between serial and intra-run engines:\n%s\nvs\n%s", serial, intra)
+	}
+}
+
+// TestIntraRunWorkersSplit pins the worker-split policy.
+func TestIntraRunWorkersSplit(t *testing.T) {
+	t.Setenv("LASER_BENCH_PARALLEL", "16")
+	for _, tc := range []struct{ tasks, want int }{
+		{35, 1}, // more runs than workers: run-level only
+		{16, 1},
+		{8, 2},
+		{4, 4},
+		{1, 4}, // capped at the simulated core count
+	} {
+		if got := intraRunWorkers(tc.tasks); got != tc.want {
+			t.Errorf("intraRunWorkers(%d) = %d, want %d", tc.tasks, got, tc.want)
+		}
+	}
+	t.Setenv("LASER_BENCH_INTRA", "2")
+	if got := intraRunWorkers(35); got != 2 {
+		t.Errorf("LASER_BENCH_INTRA override ignored: got %d", got)
+	}
+}
+
 // TestNativeRunCache checks the memoized native baseline: repeated calls
 // for one (workload, scale, variant) key return the same deterministic
 // stats object without re-simulating.
 func TestNativeRunCache(t *testing.T) {
-	a, err := runNative("histogram", 0.25, 0)
+	a, err := runNative("histogram", 0.25, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runNative("histogram", 0.25, 0)
+	b, err := runNative("histogram", 0.25, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +136,7 @@ func TestNativeRunCache(t *testing.T) {
 	if a.Cycles == 0 {
 		t.Error("cached native run has zero cycles")
 	}
-	if _, err := runNative("no_such_workload", 1, 0); err == nil {
+	if _, err := runNative("no_such_workload", 1, 0, 1); err == nil {
 		t.Error("unknown workload did not error")
 	}
 }

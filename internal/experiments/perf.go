@@ -23,10 +23,11 @@ type Fig10Row struct {
 func RunFigure10(cfg Config) ([]Fig10Row, error) {
 	names := workloadNames()
 	rows := make([]Fig10Row, len(names))
+	intra := intraRunWorkers(len(names))
 	err := forEach(len(names), func(i int) error {
 		name := names[i]
-		l, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
-			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+		l, err := normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
+			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -35,8 +36,8 @@ func RunFigure10(cfg Config) ([]Fig10Row, error) {
 		if err != nil {
 			return fmt.Errorf("fig10 %s laser: %w", name, err)
 		}
-		v, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
-			out, err := runVTune(name, cfg.PerfScale, seed)
+		v, err := normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
+			out, err := runVTune(name, cfg.PerfScale, seed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -94,12 +95,13 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 	autoNames := []string{"histogram'", "linear_regression"}
 	manualNames := []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"}
 	rows := make([]Fig11Row, len(autoNames)+len(manualNames))
+	intra := intraRunWorkers(len(rows))
 	err := forEach(len(rows), func(i int) error {
 		if i < len(autoNames) {
 			name := autoNames[i]
 			triggered := true
-			norm, err := normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
-				res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+			norm, err := normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
+				res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, intra)
 				if err != nil {
 					return 0, err
 				}
@@ -124,8 +126,8 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 			return nil
 		}
 		name := manualNames[i-len(autoNames)]
-		norm, err := normalizedRuntime(cfg, name, func(int64) (uint64, error) {
-			st, err := runNative(name, cfg.PerfScale, workload.Fixed)
+		norm, err := normalizedRuntime(cfg, name, intra, func(int64) (uint64, error) {
+			st, err := runNative(name, cfg.PerfScale, workload.Fixed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -171,13 +173,14 @@ type Fig12Row struct {
 func RunFigure12(cfg Config) ([]Fig12Row, error) {
 	names := workloadNames()
 	candidates := make([]*Fig12Row, len(names))
+	intra := intraRunWorkers(len(names))
 	err := forEach(len(names), func(i int) error {
 		name := names[i]
-		res, err := runLaser(name, cfg.PerfScale, false, laserSAV, 1)
+		res, err := runLaser(name, cfg.PerfScale, false, laserSAV, 1, intra)
 		if err != nil {
 			return fmt.Errorf("fig12 %s: %w", name, err)
 		}
-		nat, err := runNative(name, cfg.PerfScale, workload.Native)
+		nat, err := runNative(name, cfg.PerfScale, workload.Native, intra)
 		if err != nil {
 			return err
 		}
@@ -234,10 +237,11 @@ type Fig13Point struct {
 func RunFigure13(cfg Config) ([]Fig13Point, error) {
 	savs := []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
 	out := make([]Fig13Point, len(savs))
+	intra := intraRunWorkers(len(savs))
 	err := forEach(len(savs), func(i int) error {
 		sav := savs[i]
-		norm, err := normalizedRuntime(cfg, "dedup", func(seed int64) (uint64, error) {
-			res, err := runLaser("dedup", cfg.PerfScale, false, sav, seed)
+		norm, err := normalizedRuntime(cfg, "dedup", intra, func(seed int64) (uint64, error) {
+			res, err := runLaser("dedup", cfg.PerfScale, false, sav, seed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -290,13 +294,14 @@ type Fig14Row struct {
 // experiment pool.
 func RunFigure14(cfg Config) ([]Fig14Row, error) {
 	rows := make([]Fig14Row, len(fig14Set))
+	intra := intraRunWorkers(len(fig14Set))
 	err := forEach(len(fig14Set), func(i int) error {
 		name := fig14Set[i]
 		w, _ := workload.Get(name)
 		row := Fig14Row{Workload: name}
 		var err error
-		row.Laser, err = normalizedRuntime(cfg, name, func(seed int64) (uint64, error) {
-			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed)
+		row.Laser, err = normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
+			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -306,8 +311,8 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 			return fmt.Errorf("fig14 %s: %w", name, err)
 		}
 		if w.HasFix {
-			row.ManualFix, err = normalizedRuntime(cfg, name, func(int64) (uint64, error) {
-				st, err := runNative(name, cfg.PerfScale, workload.Fixed)
+			row.ManualFix, err = normalizedRuntime(cfg, name, intra, func(int64) (uint64, error) {
+				st, err := runNative(name, cfg.PerfScale, workload.Fixed, intra)
 				if err != nil {
 					return 0, err
 				}
@@ -327,15 +332,15 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 		if w.Sheriff != sheriff.OK && !force {
 			row.SheriffFailed = true
 		} else {
-			nat, err := runNative(name, scale, workload.Native)
+			nat, err := runNative(name, scale, workload.Native, intra)
 			if err != nil {
 				return err
 			}
-			det, err := runSheriff(name, scale, sheriff.Detect, force)
+			det, err := runSheriff(name, scale, sheriff.Detect, force, intra)
 			if err != nil {
 				return err
 			}
-			prot, err := runSheriff(name, scale, sheriff.Protect, force)
+			prot, err := runSheriff(name, scale, sheriff.Protect, force, intra)
 			if err != nil {
 				return err
 			}

@@ -13,6 +13,19 @@ import (
 // it, and the call frame is measurable there) — any change to the
 // sequence below must be mirrored in both arms.
 func (m *Machine) access(t *thread, c int, in *isa.Instr, addr mem.Addr, write bool) uint64 {
+	// Under the intra-run parallel engine, lines private to the
+	// executing thread never enter the shared directory; the engine
+	// charges their (trivial, single-owner) MESI outcomes from the
+	// thread-local first-touch table instead, on every path — segments
+	// and serial retirement alike — so each line is accounted in exactly
+	// one place for the whole run. Private lines can neither HITM nor
+	// conflict with an SSB-flush transaction (transactions buffer only
+	// lines their own thread wrote), so skipping those steps is exact.
+	if e := m.eng; e != nil {
+		if cost, ok := e.privAccess(t, addr); ok {
+			return cost
+		}
+	}
 	m.stats.MemAccesses++
 	res := m.coh.Access(c, addr, write)
 	if m.activeTxns > 0 {

@@ -69,6 +69,31 @@ type Config struct {
 	// MaxCycles aborts the run when any core clock exceeds it (0 = no
 	// practical limit). Runs that hit the cap return ErrTimeout.
 	MaxCycles uint64
+
+	// Parallelism > 1 enables the intra-run parallel execution engine:
+	// up to that many simulated cores execute their private instruction
+	// stretches concurrently on host threads, while all globally-visible
+	// events retire serially in the exact serial-scheduler order. The
+	// results — statistics, HITM ground truth, probe callbacks — are
+	// byte-identical to the serial engine at any worker count. 0 or 1
+	// selects the serial scheduler. The engine requires at most one
+	// thread per core; other configurations fall back to serial.
+	Parallelism int
+	// PrivateData lists, per thread id, heap ranges only that thread
+	// ever touches (per-thread slices of shared allocations, private
+	// arenas). The sharing analysis and the parallel engine treat these
+	// lines — plus the thread stacks, when stack addresses provably do
+	// not escape — as thread-private. Declaring a range another thread
+	// in fact touches is a construction bug; enable ValidateSharing in
+	// tests to catch it.
+	PrivateData [][]mem.Range
+	// DispatchThreshold overrides the engine's inline-vs-worker segment
+	// length cutoff, in instructions (0 = default). Tests lower it to
+	// force worker-pool traffic on tiny programs.
+	DispatchThreshold int
+	// ValidateSharing makes the parallel engine panic when any thread
+	// touches a line inside another thread's declared private ranges.
+	ValidateSharing bool
 }
 
 // ErrTimeout reports that a run exceeded Config.MaxCycles.
@@ -176,6 +201,10 @@ type Machine struct {
 	// Stats.HITMByPC map. A contended workload takes a HITM every few
 	// instructions, and a Go map assign there is measurably expensive.
 	hitmPCs pcCounts
+
+	// eng is the intra-run parallel execution engine, nil under the
+	// serial scheduler (see parallel.go).
+	eng *engine
 
 	stats Stats
 }
@@ -293,6 +322,14 @@ func New(prog *isa.Program, cfg Config, specs []ThreadSpec) *Machine {
 			m.curThread[c] = m.threads[m.runq[c][m.cur[c]]]
 		}
 	}
+	// The intra-run parallel engine: only worthwhile (and only
+	// implemented) for the one-thread-per-core shape every evaluation
+	// run uses — with several threads per core, quantum context switches
+	// would interleave probe callbacks with segment consumption in an
+	// order the serial scheduler cannot reproduce.
+	if cfg.Parallelism > 1 && cfg.Cores > 1 && len(specs) > 1 && len(specs) <= cfg.Cores {
+		m.eng = newEngine(m, specs)
+	}
 	return m
 }
 
@@ -314,6 +351,14 @@ func (m *Machine) Program() *isa.Program { return m.prog }
 // be defined for every index a thread might be stopped at. Any active SSB
 // is flushed through the fallback path first.
 func (m *Machine) SetProgram(p *isa.Program, remap func(int) int) {
+	// Any in-flight local segments retired instructions of the old
+	// program; settle them before thread state is remapped underneath
+	// them. (Mid-run swaps only happen via alias-miss callbacks, which
+	// only exist in already-rewritten code — by then the engine has
+	// stopped running memory instructions in segments, see parallel.go.)
+	if m.eng != nil {
+		m.eng.settleAll()
+	}
 	for _, t := range m.threads {
 		if t.ssb != nil && t.ssb.Active() {
 			m.applySSB(t, t.id%m.cfg.Cores)
@@ -336,6 +381,12 @@ func (m *Machine) SetProgram(p *isa.Program, remap func(int) int) {
 
 // Stats returns the statistics collected so far.
 func (m *Machine) Stats() *Stats { return &m.stats }
+
+// IntraRunParallel reports whether the intra-run parallel engine is
+// driving this machine (Config.Parallelism > 1 on an eligible
+// configuration). Tests assert it to make sure equivalence runs actually
+// exercise the engine.
+func (m *Machine) IntraRunParallel() bool { return m.eng != nil }
 
 // CheckCoherence verifies the MESI invariants of the machine's coherence
 // directory (see coherence.Model.CheckInvariants). Equivalence tests call
@@ -361,6 +412,9 @@ func (m *Machine) Run() (*Stats, error) {
 // resulting execution order, and therefore every statistic, is identical
 // to the one-instruction-at-a-time schedule.
 func (m *Machine) RunFor(target uint64) (bool, error) {
+	if m.eng != nil {
+		return m.eng.runFor(target)
+	}
 	live := 0
 	for _, t := range m.threads {
 		if !t.halted {
@@ -409,7 +463,7 @@ func (m *Machine) RunFor(target uint64) (bool, error) {
 		if len(m.runq[c]) > 1 && m.quantumEnd[c] < hard {
 			hard = m.quantumEnd[c]
 		}
-		if m.runBatch(t, c, limit, hard) {
+		if m.runBatch(t, c, limit, hard, false) {
 			live--
 			continue
 		}
@@ -422,24 +476,12 @@ func (m *Machine) RunFor(target uint64) (bool, error) {
 	return true, nil
 }
 
-// opLocal marks the opcodes that touch only thread-local state (registers,
-// pc, call stack, the core clock and global counters that are pure sums) —
-// never shared memory, the coherence directory, the SSB/txn machinery or a
-// probe. Only these may retire past the batch limit during run-ahead.
-var opLocal = [...]bool{
-	isa.OpNop:        true,
-	isa.OpMovImm:     true,
-	isa.OpMov:        true,
-	isa.OpALU:        true,
-	isa.OpBranch:     true,
-	isa.OpJump:       true,
-	isa.OpCall:       true,
-	isa.OpRet:        true,
-	isa.OpPause:      true,
-	isa.OpIO:         true,
-	isa.OpAliasCheck: false,
-	isa.OpSSBFlush:   false,
-}
+// opLocal marks the opcodes that may retire past the batch limit during
+// run-ahead. The table lives in the isa package now (isa.LocalOps): it is
+// the per-opcode core of the static sharing analysis, which generalizes
+// this run-ahead check into the per-(thread, PC) classification the
+// intra-run parallel engine schedules whole segments with.
+var opLocal = isa.LocalOps
 
 // pickCoreAndLimit scans the active cores once and returns both the
 // scheduler's pick — the core with the lowest clock, ties to the lowest
@@ -546,13 +588,28 @@ func (m *Machine) switchThread(c int) {
 // interpreter dispatch lives directly in this loop — one call per batch,
 // not per instruction, with the instruction fetch, clock slot and config
 // dilations held in locals.
-func (m *Machine) runBatch(t *thread, c int, limit, hard uint64) bool {
+//
+// routed forces loads and stores through the memLoad/memStore wrappers so
+// the intra-run parallel engine's private-line routing applies; the
+// serial scheduler passes false and keeps the inlined fast path. The
+// retirement semantics are identical either way.
+func (m *Machine) runBatch(t *thread, c int, limit, hard uint64, routed bool) bool {
 	instrs := m.prog.Instrs
 	gen := m.progGen
 	clk := &m.clock[c]
 	extraInstr := m.cfg.ExtraInstrCycles
 	extraLoad := m.cfg.ExtraLoadCycles
 	priv := m.cfg.PrivateMemory
+	var eng *engine
+	var row []isa.SharingClass
+	if routed {
+		eng = m.eng
+		if m.progGen == 0 {
+			// The static class row skips the private-table probe for
+			// provably-shared PCs; it indexes the original program only.
+			row = eng.sharing.Row(t.id)
+		}
+	}
 	steps := uint64(0)
 	for {
 		in := &instrs[t.pc]
@@ -580,16 +637,29 @@ func (m *Machine) runBatch(t *thread, c int, limit, hard uint64) bool {
 			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
 			if !priv {
 				// Common path: the access() body inline, without the
-				// memLoad and access wrapper frames.
-				m.stats.MemAccesses++
-				res := m.coh.Access(c, addr, false)
-				if m.activeTxns > 0 {
-					m.abortConflictingTxns(t, addr)
+				// memLoad and access wrapper frames. In the engine's
+				// routed mode, thread-private lines charge from the
+				// thread-local first-touch table instead of the
+				// directory (the static class row skips the probe for
+				// provably-shared PCs).
+				cc := uint64(0)
+				private := false
+				if eng != nil && (row == nil || row[t.pc] != isa.ShareShared || eng.validate) {
+					cc, private = eng.privAccess(t, addr)
 				}
-				if res.Result.IsHITM() {
-					m.noteHITM(t, c, in, addr, false, res)
+				if private {
+					cost += cc + extraLoad
+				} else {
+					m.stats.MemAccesses++
+					res := m.coh.Access(c, addr, false)
+					if m.activeTxns > 0 {
+						m.abortConflictingTxns(t, addr)
+					}
+					if res.Result.IsHITM() {
+						m.noteHITM(t, c, in, addr, false, res)
+					}
+					cost += costTable[res.Result&7] + extraLoad
 				}
-				cost += costTable[res.Result&7] + extraLoad
 				// Aligned 8-byte read on the cached page, inline; every
 				// other shape takes the general loader.
 				if off := uint64(addr) & (pageSize - 1); in.Size == 8 &&
@@ -611,15 +681,24 @@ func (m *Machine) runBatch(t *thread, c int, limit, hard uint64) bool {
 				v = uint64(in.Imm)
 			}
 			if !priv {
-				m.stats.MemAccesses++
-				res := m.coh.Access(c, addr, true)
-				if m.activeTxns > 0 {
-					m.abortConflictingTxns(t, addr)
+				cc := uint64(0)
+				private := false
+				if eng != nil && (row == nil || row[t.pc] != isa.ShareShared || eng.validate) {
+					cc, private = eng.privAccess(t, addr)
 				}
-				if res.Result.IsHITM() {
-					m.noteHITM(t, c, in, addr, true, res)
+				if private {
+					cost += cc
+				} else {
+					m.stats.MemAccesses++
+					res := m.coh.Access(c, addr, true)
+					if m.activeTxns > 0 {
+						m.abortConflictingTxns(t, addr)
+					}
+					if res.Result.IsHITM() {
+						m.noteHITM(t, c, in, addr, true, res)
+					}
+					cost += costTable[res.Result&7]
 				}
-				cost += costTable[res.Result&7]
 				if off := uint64(addr) & (pageSize - 1); in.Size == 8 &&
 					off <= pageSize-8 && uint64(addr)>>pageShift == m.data.lastPageNo {
 					binary.LittleEndian.PutUint64(m.data.lastPage[off:], v)
@@ -698,9 +777,11 @@ func (m *Machine) runBatch(t *thread, c int, limit, hard uint64) bool {
 			break
 		}
 		if m.progGen != gen {
-			// A callback hot-swapped the program (and remapped pcs).
+			// A callback hot-swapped the program (and remapped pcs); the
+			// class row indexes the original program only.
 			instrs = m.prog.Instrs
 			gen = m.progGen
+			row = nil
 		}
 		if ck := *clk; ck >= limit {
 			if ck >= hard || !opLocal[instrs[t.pc].Op] {

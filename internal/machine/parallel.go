@@ -1,0 +1,775 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// This file is the intra-run parallel execution engine: a second
+// scheduler that runs the simulated cores on real host threads while
+// producing byte-identical results to the serial scheduler.
+//
+// The paper's own premise (§3) makes this possible: the overwhelming
+// majority of instructions touch only thread-private state. The engine
+// splits execution into *local segments* — maximal runs of provably- or
+// checked-private instructions — and *global events* — shared-memory
+// accesses, atomics, fences, SSB operations, halts. Local segments
+// commute with everything other cores do: they touch only the thread's
+// registers, control flow, and cache lines no other thread ever names, so
+// their costs and side effects are independent of interleaving. The
+// engine therefore executes segments concurrently on a worker pool and
+// retires the global events serially, in exactly the serial scheduler's
+// lowest-clock-first order (ties to the lowest core id). Every
+// globally-visible transition — coherence traffic, HITMs, probe
+// callbacks, SSB flush transactions — happens on the scheduler goroutine
+// in that total order, which is why statistics, reports and event streams
+// come out bit-identical at any worker count.
+//
+// Private lines never enter the shared coherence directory. A line that
+// only one thread ever touches has a trivial MESI life: MissMemory on
+// first access, HitLocal forever after. Each thread tracks its private
+// lines in a local first-touch bitmap (privSet) and charges exactly those
+// outcomes; the directory's HITM/Upgrade machinery is provably
+// unreachable for such lines. Both the worker path and the serial
+// retirement path route accesses through the same line-ownership test
+// (Machine.access), so a line is accounted in exactly one place for the
+// whole run.
+//
+// Program hot-swaps (LASERREPAIR) are the one global event that does not
+// commute with private *memory* instructions: the rewriter turns stores
+// into SSB stores and prefixes loads with alias checks, so a private
+// access run ahead of a swap could miss its post-swap instrumentation.
+// Swaps can only occur mid-run once a rewrite is already installed
+// (alias checks exist only in rewritten code), so the engine runs
+// memory-carrying segments only while the original program is installed
+// (progGen == 0) and degrades to register-only segments afterwards —
+// exactly the serial scheduler's original run-ahead rule.
+type engine struct {
+	m       *Machine
+	sharing *isa.Sharing
+	priv    []*privSet // per thread; nil for threads with no private ranges
+	views   []*memView // per core
+	state   []coreState
+	workers int
+	// threshold is the predicted segment length (instructions) above
+	// which a segment is worth shipping to the worker pool instead of
+	// running inline on the scheduler goroutine.
+	threshold float64
+	validate  bool
+
+	// mu guards the shared page table while segments execute: page
+	// creation is the only structural mutation workers and the scheduler
+	// can race on (data bytes of distinct lines never overlap).
+	mu sync.Mutex
+
+	target uint64
+	jobs   chan int
+	wg     sync.WaitGroup
+}
+
+// defaultDispatchThreshold is the segment length, in instructions, at
+// which handing the segment to a worker beats running it inline: a
+// dispatch costs on the order of a microsecond of channel traffic and
+// wakeups, which ~500 simulated instructions amortize.
+const defaultDispatchThreshold = 512
+
+// serialStepThreshold is the predicted private-run length below which a
+// core is cheaper to drive with plain serial stepping (to the exact
+// serial-scheduler batch limit) than with segment bookkeeping: shared-
+// heavy workloads degrade to the serial scheduler's behaviour instead of
+// paying engine overhead per event.
+const serialStepThreshold = 24
+
+// probeInterval is how often (in scheduler turns) a serial-stepped core
+// re-measures its private-run length with a real segment, so a phase
+// change back to private-heavy execution is noticed.
+const probeInterval = 64
+
+type segStatus uint8
+
+const (
+	// segIdle: the core needs its next local segment computed.
+	segIdle segStatus = iota
+	// segInFlight: a worker is executing the core's segment.
+	segInFlight
+	// segStopped: the segment is consumed; the core's next instruction
+	// (a global event, or anything after a target boundary) has not
+	// executed yet.
+	segStopped
+)
+
+type coreState struct {
+	status segStatus
+	// ema predicts the next segment's instruction count from recent
+	// history; it decides inline vs dispatched execution and adapts
+	// per-core, so a contended core degrades to serial stepping while a
+	// compute-bound sibling keeps its worker.
+	ema   float64
+	probe int
+	job   segJob
+	res   segResult
+	done  chan struct{}
+}
+
+type segJob struct {
+	t     *thread
+	clock uint64
+	hard  uint64
+	// allowMem permits private memory instructions in the segment; false
+	// once a program rewrite is installed (see the package comment).
+	allowMem bool
+}
+
+// segResult carries a segment's effects back to the scheduler. Everything
+// here is a pure sum (or the final clock), so consumption order across
+// cores cannot influence any observable.
+type segResult struct {
+	clock uint64
+	steps uint64
+	mem   uint64
+	miss  uint64 // first-touch private lines (MissMemory outcomes)
+	hit   uint64 // re-touched private lines (HitLocal outcomes)
+}
+
+// privRange is one line-aligned thread-private range plus the first-touch
+// bitmap that stands in for the coherence directory: a single-owner MESI
+// line is MissMemory on first access and HitLocal on every later one,
+// regardless of the read/write mix.
+type privRange struct {
+	start, end mem.Addr
+	bits       []uint64
+}
+
+// touch marks the line as cached by its owner and reports whether this
+// was the first access.
+func (r *privRange) touch(line mem.Line) bool {
+	idx := uint64(mem.Addr(line)-r.start) >> mem.LineShift
+	w, b := idx>>6, uint64(1)<<(idx&63)
+	if r.bits[w]&b != 0 {
+		return false
+	}
+	r.bits[w] |= b
+	return true
+}
+
+// privSet is one thread's private ranges with a one-entry MRU cache; hot
+// loops hammer a single range, so the common lookup is two compares.
+type privSet struct {
+	ranges []privRange
+	last   int
+}
+
+func newPrivSet(rs []mem.Range) *privSet {
+	if len(rs) == 0 {
+		return nil
+	}
+	ps := &privSet{ranges: make([]privRange, len(rs))}
+	for i, r := range rs {
+		lines := uint64(r.End-r.Start) >> mem.LineShift
+		ps.ranges[i] = privRange{start: r.Start, end: r.End, bits: make([]uint64, (lines+63)/64)}
+	}
+	return ps
+}
+
+// find returns the range containing a, or nil. Only the owning thread's
+// current executor (worker or scheduler, never both) may call it — the
+// MRU index is unsynchronized by design.
+func (ps *privSet) find(a mem.Addr) *privRange {
+	if ps == nil {
+		return nil
+	}
+	if r := &ps.ranges[ps.last]; a >= r.start && a < r.end {
+		return r
+	}
+	for i := range ps.ranges {
+		if r := &ps.ranges[i]; a >= r.start && a < r.end {
+			ps.last = i
+			return r
+		}
+	}
+	return nil
+}
+
+// contains is the read-only variant safe for cross-thread validation.
+func (ps *privSet) contains(a mem.Addr) bool {
+	if ps == nil {
+		return false
+	}
+	for i := range ps.ranges {
+		if a >= ps.ranges[i].start && a < ps.ranges[i].end {
+			return true
+		}
+	}
+	return false
+}
+
+// memView is a worker's window onto the shared sparse memory. Workers
+// must not touch the shared memory's lookup caches (they are
+// scheduler-owned), so each view keeps its own page cache and resolves
+// misses through the engine mutex. Page pointers are stable once created,
+// which makes the local cache safe forever.
+type memView struct {
+	m      *memory
+	mu     *sync.Mutex
+	pages  map[uint64]*[pageSize]byte
+	lastNo uint64
+	last   *[pageSize]byte
+}
+
+func newMemView(m *memory, mu *sync.Mutex) *memView {
+	return &memView{m: m, mu: mu, pages: make(map[uint64]*[pageSize]byte), lastNo: ^uint64(0)}
+}
+
+func (v *memView) page(a mem.Addr) *[pageSize]byte {
+	pn := uint64(a) >> pageShift
+	if pn == v.lastNo {
+		return v.last
+	}
+	p := v.pages[pn]
+	if p == nil {
+		v.mu.Lock()
+		p = v.m.slowPage(a)
+		v.mu.Unlock()
+		v.pages[pn] = p
+	}
+	v.lastNo, v.last = pn, p
+	return p
+}
+
+func (v *memView) load(a mem.Addr, size uint8) uint64 {
+	off := uint64(a) & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := v.page(a)
+		switch size {
+		case 8:
+			return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+				uint64(p[off+4])<<32 | uint64(p[off+5])<<40 | uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+		case 4:
+			return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24
+		case 2:
+			return uint64(p[off]) | uint64(p[off+1])<<8
+		case 1:
+			return uint64(p[off])
+		}
+	}
+	var val uint64
+	for i := uint8(0); i < size; i++ {
+		val |= uint64(v.loadByte(a+mem.Addr(i))) << (8 * i)
+	}
+	return val
+}
+
+func (v *memView) store(a mem.Addr, size uint8, val uint64) {
+	off := uint64(a) & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := v.page(a)
+		for i := uint8(0); i < size; i++ {
+			p[off+uint64(i)] = byte(val >> (8 * i))
+		}
+		return
+	}
+	for i := uint8(0); i < size; i++ {
+		v.page(a + mem.Addr(i))[uint64(a+mem.Addr(i))&(pageSize-1)] = byte(val >> (8 * i))
+	}
+}
+
+func (v *memView) loadByte(a mem.Addr) byte {
+	return v.page(a)[uint64(a)&(pageSize-1)]
+}
+
+// newEngine wires the intra-run engine into a freshly built machine. The
+// caller has already decided the configuration is eligible (workers > 1,
+// multiple threads, at most one thread per core).
+func newEngine(m *Machine, specs []ThreadSpec) *engine {
+	threads := len(specs)
+	ranges := canonicalRanges(m.cfg.PrivateData, threads)
+
+	// Thread stacks are private only if no stack address can reach
+	// another thread: no tainted value is ever stored, no stack-range
+	// literal appears in the text, and no thread starts with a register
+	// into a foreign stack.
+	stacks := make([]mem.Range, threads)
+	for t := range stacks {
+		base, top, _ := mem.StackFor(t)
+		stacks[t] = mem.Range{Start: base, End: top}
+	}
+	seeds := make([]isa.ThreadSeed, threads)
+	for t, s := range specs {
+		regs := make(map[isa.Reg]int64, len(s.Regs)+1)
+		_, _, sp := mem.StackFor(t)
+		regs[isa.SP] = int64(sp)
+		for r, v := range s.Regs {
+			regs[r] = v
+		}
+		seeds[t] = isa.ThreadSeed{Entry: s.Entry, Regs: regs}
+	}
+	stackSafe := !isa.StackAddrEscapes(m.prog, seeds, stacks)
+	if stackSafe {
+	check:
+		for t := range seeds {
+			for _, v := range seeds[t].Regs {
+				for u, sr := range stacks {
+					if u != t && sr.Contains(mem.Addr(v)) {
+						stackSafe = false
+						break check
+					}
+				}
+			}
+		}
+	}
+	for t := range seeds {
+		rs := append([]mem.Range(nil), ranges[t]...)
+		if stackSafe {
+			rs = append(rs, stacks[t])
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+		seeds[t].Private = rs
+	}
+
+	e := &engine{
+		m:         m,
+		sharing:   isa.AnalyzeSharing(m.prog, seeds),
+		priv:      make([]*privSet, threads),
+		views:     make([]*memView, m.cfg.Cores),
+		state:     make([]coreState, m.cfg.Cores),
+		workers:   min(m.cfg.Parallelism, threads),
+		threshold: float64(m.cfg.DispatchThreshold),
+		validate:  m.cfg.ValidateSharing,
+	}
+	if e.threshold <= 0 {
+		e.threshold = defaultDispatchThreshold
+	}
+	for t := range seeds {
+		e.priv[t] = newPrivSet(seeds[t].Private)
+	}
+	for c := range e.views {
+		e.views[c] = newMemView(m.data, &e.mu)
+		e.state[c].done = make(chan struct{}, 1)
+		e.state[c].ema = e.threshold // optimistic: first segments dispatch
+	}
+	m.data.mu = &e.mu
+	return e
+}
+
+// canonicalRanges line-aligns and sorts the declared per-thread private
+// ranges and panics if any two threads' ranges share a cache line — an
+// overlapping declaration is a workload construction bug that would
+// silently corrupt the simulation, exactly like an overlapping memory
+// map.
+func canonicalRanges(decl [][]mem.Range, threads int) [][]mem.Range {
+	out := make([][]mem.Range, threads)
+	type owned struct {
+		r mem.Range
+		t int
+	}
+	var all []owned
+	for t := 0; t < threads && t < len(decl); t++ {
+		for _, r := range decl[t] {
+			r = r.LineAligned()
+			if r.Empty() {
+				continue
+			}
+			out[t] = append(out[t], r)
+			all = append(all, owned{r, t})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].r.Start < all[j].r.Start })
+	for i := 1; i < len(all); i++ {
+		if all[i-1].r.End > all[i].r.Start {
+			panic(fmt.Sprintf("machine: private ranges overlap: thread %d [%#x,%#x) vs thread %d [%#x,%#x)",
+				all[i-1].t, all[i-1].r.Start, all[i-1].r.End, all[i].t, all[i].r.Start, all[i].r.End))
+		}
+	}
+	return out
+}
+
+// privAccess charges a thread-private access without touching the shared
+// coherence directory. ok is false when the line is not private to t, in
+// which case the caller proceeds through the directory. Both engines'
+// outcome sequences for a single-owner line are identical (MissMemory
+// then HitLocal), so statistics match the serial scheduler exactly.
+func (e *engine) privAccess(t *thread, addr mem.Addr) (uint64, bool) {
+	line := mem.LineOf(addr)
+	r := e.priv[t.id].find(mem.Addr(line))
+	if r == nil {
+		if e.validate {
+			e.checkForeign(t.id, line)
+		}
+		return 0, false
+	}
+	m := e.m
+	m.stats.MemAccesses++
+	if r.touch(line) {
+		m.coh.Counts[coherence.MissMemory]++
+		return CostMissMemory, true
+	}
+	m.coh.Counts[coherence.HitLocal]++
+	return CostMemHitLocal, true
+}
+
+// checkForeign panics when a thread touches a line declared private to a
+// different thread — the declaration soundness check behind
+// Config.ValidateSharing. Tests run the stock workloads with it enabled.
+func (e *engine) checkForeign(tid int, line mem.Line) {
+	for id, ps := range e.priv {
+		if id != tid && ps.contains(mem.Addr(line)) {
+			panic(fmt.Sprintf("machine: thread %d accessed line %#x declared private to thread %d",
+				tid, uint64(line), id))
+		}
+	}
+}
+
+// runFor is the engine's replacement for the serial scheduler loop. The
+// flow per picked core: settle an in-flight segment, honor the target and
+// cycle cap, resolve SSB-flush transaction windows, retire one global
+// event (stepOne), or compute the next local segment — dispatched to the
+// pool when the core's recent segments have been long enough to amortize
+// a dispatch, inline otherwise.
+func (e *engine) runFor(target uint64) (bool, error) {
+	m := e.m
+	e.target = target
+	defer e.stopPool()
+	live := 0
+	for _, t := range m.threads {
+		if !t.halted {
+			live++
+		}
+	}
+	for live > 0 {
+		// pickCoreAndLimit applies the serial scheduler's exact pick rule
+		// (lowest clock, ties to the lowest core id). In-flight cores
+		// participate with their dispatch-time clocks — lower bounds of
+		// their true clocks — which can only make the pick and the batch
+		// limit more conservative, never reorder an event.
+		c, limit := m.pickCoreAndLimit(target)
+		if c < 0 {
+			break
+		}
+		st := &e.state[c]
+		if st.status == segInFlight {
+			<-st.done
+			e.consume(c)
+			continue
+		}
+		if m.clock[c] >= target {
+			e.settleAll()
+			m.finishStats()
+			return false, nil
+		}
+		if m.clock[c] > m.cfg.MaxCycles {
+			e.settleAll()
+			m.finishStats()
+			return false, ErrTimeout
+		}
+		t := m.curThread[c]
+		// Resolve or wait out a pending SSB-flush transaction, exactly
+		// as the serial loop does.
+		if t.txn != nil {
+			if m.clock[c] >= t.txn.end {
+				m.resolveTxn(t, c)
+			} else {
+				m.clock[c] = t.txn.end
+			}
+			continue
+		}
+		// Event-dense core: private runs too short for segment
+		// bookkeeping to pay off. Drive it with the serial batch
+		// interpreter itself — same pick rule, same batch bounds — with
+		// loads and stores routed through the private-line tables. The
+		// probe countdown periodically lets the segment machinery run
+		// one round anyway, so a workload entering a private-heavy phase
+		// re-measures its run length and promotes itself back.
+		if st.ema < serialStepThreshold && st.probe > 0 {
+			st.probe--
+			hard := e.target
+			if m.cfg.MaxCycles+1 < hard {
+				hard = m.cfg.MaxCycles + 1
+			}
+			if m.runBatch(t, c, limit, hard, true) {
+				live--
+			}
+			st.status = segIdle // the batch retired any pending event
+			continue
+		}
+		if st.status == segStopped {
+			// The next instruction is a global event (or the first
+			// instruction after a target boundary): retire exactly one
+			// instruction through the routed access path, then go back
+			// to segment mode.
+			st.status = segIdle
+			if m.stepOne(t, c) {
+				live--
+			}
+			continue
+		}
+		// segIdle: compute the next local segment. First overlap: ship
+		// any other idle core whose predicted segment is long enough.
+		if e.workers > 1 {
+			for _, c2 := range m.active {
+				st2 := &e.state[c2]
+				if c2 == c || st2.status != segIdle || st2.ema < e.threshold {
+					continue
+				}
+				t2 := m.curThread[c2]
+				if t2 == nil || t2.txn != nil || m.clock[c2] >= target || m.clock[c2] > m.cfg.MaxCycles {
+					continue
+				}
+				e.dispatch(c2)
+			}
+			if st.ema >= e.threshold {
+				e.dispatch(c)
+				continue
+			}
+		}
+		e.prepJob(c)
+		e.runSegment(c)
+		e.consume(c)
+	}
+	e.settleAll()
+	m.finishStats()
+	return true, nil
+}
+
+func (e *engine) prepJob(c int) {
+	m := e.m
+	hard := e.target
+	if m.cfg.MaxCycles+1 < hard {
+		hard = m.cfg.MaxCycles + 1
+	}
+	e.state[c].job = segJob{
+		t:        m.curThread[c],
+		clock:    m.clock[c],
+		hard:     hard,
+		allowMem: m.progGen == 0,
+	}
+}
+
+func (e *engine) dispatch(c int) {
+	e.ensurePool()
+	e.prepJob(c)
+	e.state[c].status = segInFlight
+	e.jobs <- c
+}
+
+// consume folds a finished segment into the machine. Everything merged is
+// a pure sum (plus the core's clock), so the order cores are consumed in
+// is unobservable — the property settleAll relies on.
+func (e *engine) consume(c int) {
+	st := &e.state[c]
+	m := e.m
+	m.clock[c] = st.res.clock
+	m.stats.Instructions += st.res.steps
+	m.stats.MemAccesses += st.res.mem
+	m.coh.Counts[coherence.MissMemory] += st.res.miss
+	m.coh.Counts[coherence.HitLocal] += st.res.hit
+	st.ema = (3*st.ema + float64(st.res.steps)) / 4
+	st.probe = probeInterval
+	st.status = segStopped
+}
+
+// settleAll drains every in-flight segment. Called before any state the
+// workers share with the scheduler may change underneath them: RunFor
+// exits and program hot-swaps.
+func (e *engine) settleAll() {
+	for c := range e.state {
+		if e.state[c].status == segInFlight {
+			<-e.state[c].done
+			e.consume(c)
+		}
+	}
+}
+
+func (e *engine) ensurePool() {
+	if e.jobs != nil {
+		return
+	}
+	e.jobs = make(chan int, len(e.state))
+	e.wg.Add(e.workers)
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for c := range e.jobs {
+				e.runSegment(c)
+				e.state[c].done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// stopPool tears the worker pool down at the end of each RunFor slice, so
+// an abandoned machine never leaks goroutines. The pool is rebuilt lazily
+// on the next dispatch; short or contended slices never pay for it.
+func (e *engine) stopPool() {
+	if e.jobs == nil {
+		return
+	}
+	e.settleAll() // defensive: no exit path leaves segments in flight
+	close(e.jobs)
+	e.wg.Wait()
+	e.jobs = nil
+}
+
+// runSegment executes one core's local segment: private (or
+// runtime-checked private) instructions back to back until the next
+// global event or the hard clock bound. It runs on a worker goroutine or
+// inline on the scheduler; either way it touches only the thread's own
+// state, the thread's private lines, and worker-local counters, so it
+// commutes with everything else in flight.
+func (e *engine) runSegment(c int) {
+	st := &e.state[c]
+	j := &st.job
+	t := j.t
+	m := e.m
+	instrs := m.prog.Instrs
+	row := e.sharing.Row(t.id)
+	ps := e.priv[t.id]
+	view := e.views[c]
+	clk, hard := j.clock, j.hard
+	extraInstr := m.cfg.ExtraInstrCycles
+	extraLoad := m.cfg.ExtraLoadCycles
+	priv := m.cfg.PrivateMemory
+	allowMem := j.allowMem
+	var steps, memAcc, miss, hit uint64
+loop:
+	for clk < hard {
+		in := &instrs[t.pc]
+		cost := extraInstr
+		next := t.pc + 1
+		switch in.Op {
+		case isa.OpNop:
+			cost += CostNop
+		case isa.OpMovImm:
+			t.regs[in.Rd] = in.Imm
+			cost += CostALU
+		case isa.OpMov:
+			t.regs[in.Rd] = t.regs[in.Rs1]
+			cost += CostALU
+		case isa.OpALU:
+			b := t.regs[in.Rs2]
+			if in.UseImm {
+				b = in.Imm
+			}
+			t.regs[in.Rd] = aluOp(in.ALU, t.regs[in.Rs1], b)
+			cost += CostALU
+		case isa.OpLoad:
+			if !allowMem {
+				break loop
+			}
+			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+			if priv {
+				// Sheriff mode: a load is thread-local only when every
+				// byte hits this thread's own overlay. A missing byte
+				// would fall back to shared memory, whose contents
+				// depend on the global order of other threads' commits
+				// — such loads (including every spin-wait on a flag
+				// another thread publishes) retire serially.
+				v, ok := t.overlay.GetLocal(addr, in.Size)
+				if !ok {
+					break loop
+				}
+				t.regs[in.Rd] = int64(v)
+				cost += CostMemHitLocal + extraLoad
+				break
+			}
+			if row[t.pc] == isa.ShareShared {
+				break loop
+			}
+			r := ps.find(addr)
+			if r == nil || addr+mem.Addr(in.Size) > r.end {
+				break loop
+			}
+			if r.touch(mem.LineOf(addr)) {
+				miss++
+				cost += CostMissMemory + extraLoad
+			} else {
+				hit++
+				cost += CostMemHitLocal + extraLoad
+			}
+			memAcc++
+			t.regs[in.Rd] = int64(view.load(addr, in.Size))
+		case isa.OpStore:
+			if !allowMem {
+				break loop
+			}
+			addr := mem.Addr(t.regs[in.Rs1] + in.Imm)
+			v := uint64(t.regs[in.Rs2])
+			if in.UseImm {
+				addr = mem.Addr(t.regs[in.Rs1])
+				v = uint64(in.Imm)
+			}
+			if priv {
+				t.overlay.Put(addr, in.Size, v)
+				cost += CostMemHitLocal
+				break
+			}
+			if row[t.pc] == isa.ShareShared {
+				break loop
+			}
+			r := ps.find(addr)
+			if r == nil || addr+mem.Addr(in.Size) > r.end {
+				break loop
+			}
+			if r.touch(mem.LineOf(addr)) {
+				miss++
+				cost += CostMissMemory
+			} else {
+				hit++
+				cost += CostMemHitLocal
+			}
+			memAcc++
+			view.store(addr, in.Size, v)
+		case isa.OpBranch:
+			b := t.regs[in.Rs2]
+			if in.UseImm {
+				b = in.Imm
+			}
+			if condHolds(in.Cond, t.regs[in.Rs1], b) {
+				next = in.Target
+			}
+			cost += CostBranch
+		case isa.OpJump:
+			next = in.Target
+			cost += CostBranch
+		case isa.OpCall:
+			t.callStack = append(t.callStack, t.pc+1)
+			next = in.Target
+			cost += CostCall
+		case isa.OpRet:
+			if len(t.callStack) == 0 {
+				panic(fmt.Sprintf("machine: ret with empty call stack at %d", t.pc))
+			}
+			next = t.callStack[len(t.callStack)-1]
+			t.callStack = t.callStack[:len(t.callStack)-1]
+			cost += CostRet
+		case isa.OpPause:
+			cost += CostPause
+		case isa.OpIO:
+			cost += uint64(in.Imm)
+		default:
+			// Atomics, fences, SSB operations, alias checks, halt: all
+			// globally visible; the scheduler retires them.
+			break loop
+		}
+		clk += cost
+		steps++
+		t.pc = next
+	}
+	st.res = segResult{clock: clk, steps: steps, mem: memAcc, miss: miss, hit: hit}
+}
+
+// stepOne executes exactly one instruction of t on core c — the engine's
+// serial retirement of a global event (and of the first instruction after
+// a target boundary, whatever it is). It is the routed batch interpreter
+// driven with zero bounds: the batch loop always retires one instruction
+// before checking them, so the semantics — memory routing, probe timing,
+// halt handling — are runBatch's own, with no second interpreter copy to
+// keep in sync. Returns true when the thread halted (the thread is
+// removed from its queue, as in the serial batch loop).
+func (m *Machine) stepOne(t *thread, c int) bool {
+	return m.runBatch(t, c, 0, 0, true)
+}

@@ -68,6 +68,23 @@ func (s *SSB) Get(addr mem.Addr, size uint8, backing func(mem.Addr) byte) (v uin
 	return v, hit
 }
 
+// GetLocal assembles a load only when every requested byte is buffered,
+// reporting ok=false otherwise. The intra-run parallel engine uses it
+// for private-memory (Sheriff) execution: a full-hit load is provably
+// thread-local, while any byte served from shared memory could observe
+// another thread's commit and must retire in the global serial order.
+func (s *SSB) GetLocal(addr mem.Addr, size uint8) (v uint64, ok bool) {
+	for i := uint8(0); i < size; i++ {
+		a := addr + mem.Addr(i)
+		e := s.entries[mem.LineOf(a)]
+		if e == nil || e.mask&(1<<mem.Offset(a)) == 0 {
+			return 0, false
+		}
+		v |= uint64(e.data[mem.Offset(a)]) << (8 * i)
+	}
+	return v, true
+}
+
 // ContainsLine reports whether the buffer holds bytes of the given line;
 // the inserted alias checks of §5.3 use this.
 func (s *SSB) ContainsLine(l mem.Line) bool {

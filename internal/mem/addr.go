@@ -54,3 +54,27 @@ const (
 // PCs advance by this amount so "adjacent PC" (§3.1) is a well-defined
 // ±InstrBytes neighborhood.
 const InstrBytes = 4
+
+// Range is a half-open address range [Start, End). The sharing analysis
+// and the intra-run parallel engine describe thread-private data —
+// stacks, per-thread heap slices — as Range lists.
+type Range struct {
+	Start, End Addr
+}
+
+// Contains reports whether a falls inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End }
+
+// Empty reports whether the range covers no addresses.
+func (r Range) Empty() bool { return r.End <= r.Start }
+
+// LineAligned returns the range shrunk inward to whole cache lines: the
+// start rounded up and the end rounded down to a line boundary. Privacy
+// is a per-line property (coherence is line-granular), so partial lines
+// at the edges of a declared region cannot be treated as private.
+func (r Range) LineAligned() Range {
+	return Range{Start: AlignUp(r.Start, LineSize), End: r.End &^ (LineSize - 1)}
+}
+
+// Overlaps reports whether two ranges share any address.
+func (r Range) Overlaps(o Range) bool { return r.Start < o.End && o.Start < r.End }

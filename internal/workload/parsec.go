@@ -84,6 +84,10 @@ func buildBlackscholes(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	opts := alloc.AllocAligned(4*8192, 64)
 	out := alloc.AllocAligned(4*8192, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, opts+mem.Addr(t)*8192, 8192)
+		img.addPrivate(t, out+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("blackscholes.c", 210)
 	b.Func("worker")
@@ -304,6 +308,11 @@ func buildDedup(o Options) *Image {
 		}
 	}
 	scratch := alloc.AllocAligned(2*64, 64)
+	// Producer arenas travel through the queue by pointer and are read by
+	// the consumers — shared. Only the consumers' copy-out slots are
+	// private.
+	img.addPrivate(2, scratch, 64)
+	img.addPrivate(3, scratch+64, 64)
 	img.Specs = []machine.ThreadSpec{
 		{Entry: 0, Regs: map[isa.Reg]int64{2: int64(q), 3: int64(done), 5: int64(arena)}},
 		{Entry: 0, Regs: map[isa.Reg]int64{2: int64(q), 3: int64(done), 5: int64(arena) + 256*64}},
@@ -458,6 +467,9 @@ func buildFacesim(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	meshes := alloc.AllocAligned(4*8192, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, meshes+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("facesim.cpp", 400)
 	b.Func("worker")
@@ -503,6 +515,11 @@ func buildFerret(o Options) *Image {
 	img.addSite(rank, 32, isa.SourceLoc{File: "ferret.c", Line: 96})
 	data := alloc.AllocAligned(4*8192, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		// The packed status/rank slots share lines (Sheriff's false
+		// positive) and stay shared; the similarity data is per-thread.
+		img.addPrivate(t, data+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("ferret.c", 100)
 	b.Func("worker")
@@ -551,6 +568,9 @@ func buildFluidanimate(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	locks := alloc.AllocAligned(16*64, 64)
 	cells := alloc.AllocAligned(4*8192, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, cells+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("fluidanimate.cpp", 500)
 	b.Func("worker")
@@ -595,6 +615,9 @@ func buildFreqmine(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	tree := alloc.AllocAligned(4*8192, 64)
 	support := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, tree+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("fp_tree.cpp", 700)
 	b.Func("worker")
@@ -666,6 +689,11 @@ func buildStreamcluster(o Options) *Image {
 	workMem := alloc.AllocAligned(4*pad+64, 64)
 	img.addSite(workMem, 4*pad+64, isa.SourceLoc{File: "streamcluster.cpp", Line: 988})
 	points := alloc.AllocAligned(4*8192, 64)
+	for t := 0; t < 4; t++ {
+		// work_mem is the under-padded (falsely shared) array; only the
+		// point data is thread-private.
+		img.addPrivate(t, points+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("streamcluster.cpp", 1000)
 	b.Func("worker")
@@ -709,6 +737,9 @@ func buildSwaptions(o Options) *Image {
 	img := &Image{Threads: 4}
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	paths := alloc.AllocAligned(4*4096, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, paths+mem.Addr(t)*4096, 4096)
+	}
 
 	b := isa.NewBuilder().At("HJM.cpp", 310)
 	b.Func("worker")
@@ -737,6 +768,9 @@ func buildVips(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	tiles := alloc.AllocAligned(4*8192, 64)
 	regionLock := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, tiles+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("vips.c", 150)
 	b.Func("worker")
@@ -775,6 +809,10 @@ func buildX264(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	frames := alloc.AllocAligned(4*8192, 64)
 	rows := alloc.AllocAligned(4*64, 64)
+	for t := 0; t < 4; t++ {
+		// The neighbour-row exchange lines (rows) are shared by design.
+		img.addPrivate(t, frames+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("encoder.c", 800)
 	b.Func("worker")

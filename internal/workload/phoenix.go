@@ -83,6 +83,14 @@ func buildHistogram(o Options, fs bool) *Image {
 	img.addSite(ctrs, 4*stride, isa.SourceLoc{File: "histogram.c", Line: 45})
 	pixels := alloc.AllocAligned(4*4096, 64)
 	img.addSite(pixels, 4*4096, isa.SourceLoc{File: "histogram.c", Line: 31})
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, pixels+mem.Addr(t)*4096, 4096)
+		if stride >= mem.LineSize {
+			// Line-spaced counters are genuinely per-thread; the packed
+			// (false-sharing) layout is exactly not private.
+			img.addPrivate(t, ctrs+mem.Addr(t)*stride, stride)
+		}
+	}
 
 	b := isa.NewBuilder().At("histogram.c", 58)
 	b.Func("worker")
@@ -129,6 +137,14 @@ func buildLinearRegression(o Options) *Image {
 	img.addSite(args, 4*64, isa.SourceLoc{File: "lreg.c", Line: 88})
 	points := alloc.AllocAligned(4*8192, 64)
 	img.addSite(points, 4*8192, isa.SourceLoc{File: "lreg.c", Line: 80})
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, points+mem.Addr(t)*8192, 8192)
+		if o.Variant == Fixed {
+			// Aligned lreg_args structs own whole lines; the native
+			// (straddling) layout is the bug and stays shared.
+			img.addPrivate(t, args+mem.Addr(t)*64, 64)
+		}
+	}
 
 	b := isa.NewBuilder().At("lreg.c", 100)
 	b.Func("worker")
@@ -194,6 +210,9 @@ func buildKmeans(o Options) *Image {
 	flag := alloc.AllocAligned(64, 64)
 	img.addSite(flag, 64, isa.SourceLoc{File: "kmeans.c", Line: 32})
 	pts := alloc.AllocAligned(4*4096, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, pts+mem.Addr(t)*4096, 4096)
+	}
 
 	// The Fixed variant allocates the sums on each worker's stack (§7.4.2),
 	// so the contended base register points into the thread stack instead.
@@ -264,6 +283,11 @@ func buildMatrixMultiply(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	a := alloc.AllocAligned(8192, 64)
 	c := alloc.AllocAligned(4*4096, 64)
+	for t := 0; t < 4; t++ {
+		// The output rows are disjoint per thread; the input matrix is
+		// read-shared and stays undeclared.
+		img.addPrivate(t, c+mem.Addr(t)*4096, 4096)
+	}
 
 	b := isa.NewBuilder().At("mm.c", 140)
 	b.Func("worker")
@@ -343,6 +367,12 @@ func buildReverseIndex(o Options) *Image {
 	img.addSite(aux, 3*64, isa.SourceLoc{File: "rev_index.c", Line: 60})
 	links := alloc.AllocAligned(4*4096, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, links+mem.Addr(t)*4096, 4096)
+		if stride >= mem.LineSize {
+			img.addPrivate(t, useLen+mem.Addr(t)*stride, stride)
+		}
+	}
 
 	b := isa.NewBuilder().At("rev_index.c", 120)
 	b.Func("worker")
@@ -444,6 +474,9 @@ func buildWordCount(o Options) *Image {
 	useLen := alloc.Alloc(4 * 4)
 	img.addSite(useLen, 16, isa.SourceLoc{File: "word_count.c", Line: 52})
 	text := alloc.AllocAligned(4*4096, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, text+mem.Addr(t)*4096, 4096)
+	}
 
 	b := isa.NewBuilder().At("word_count.c", 70)
 	b.Func("worker")

@@ -131,6 +131,9 @@ func buildFFT(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	tiles := alloc.AllocAligned(4*4096, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, tiles+mem.Addr(t)*4096, 4096)
+	}
 
 	b := isa.NewBuilder().At("fft.c", 600)
 	b.Func("worker")
@@ -174,6 +177,9 @@ func buildFMM(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	boxes := alloc.AllocAligned(4*8192, 64)
 	cost := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, boxes+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("fmm.c", 500)
 	b.Func("worker")
@@ -206,6 +212,9 @@ func buildLUCB(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	blocks := alloc.AllocAligned(4*8192, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, blocks+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("lu_cb.c", 300)
 	b.Func("worker")
@@ -328,6 +337,9 @@ func buildOcean(o Options, file string) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	grid := alloc.AllocAligned(4*8192, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, grid+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At(file, 900)
 	b.Func("worker")
@@ -371,6 +383,12 @@ func buildRadiosity(o Options) *Image {
 	taskLock := alloc.AllocAligned(64, 64)
 	tasks := alloc.AllocAligned(4*64, 64)
 	patches := alloc.AllocAligned(4*8192, 64)
+	for t := 0; t < 4; t++ {
+		// Each thread refills only its own task-queue head (the global
+		// lock serializes the refill, not the data).
+		img.addPrivate(t, tasks+mem.Addr(t)*64, 64)
+		img.addPrivate(t, patches+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("radiosity.c", 1000)
 	b.Func("worker")
@@ -418,6 +436,9 @@ func buildRadix(o Options) *Image {
 	keys := alloc.AllocAligned(4*8192, 64)
 	digits := alloc.AllocAligned(64, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, keys+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("radix.c", 450)
 	b.Func("worker")
@@ -527,6 +548,9 @@ func buildVolrend(o Options) *Image {
 	img.addSite(queue, 64, isa.SourceLoc{File: "volrend.c", Line: 58})
 	aux := alloc.AllocAligned(64, 64)
 	voxels := alloc.AllocAligned(4*8192, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, voxels+mem.Addr(t)*8192, 8192)
+	}
 	batched := o.Variant == Fixed
 
 	b := isa.NewBuilder().At("volrend.c", 600)
@@ -585,6 +609,9 @@ func buildWaterNsquared(o Options) *Image {
 	mol := alloc.AllocAligned(4*8192, 64)
 	molLock := alloc.AllocAligned(64, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, mol+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("water_nsq.c", 700)
 	b.Func("worker")
@@ -630,6 +657,9 @@ func buildWaterSpatial(o Options) *Image {
 	alloc := mem.NewAllocator(HeapSize, o.HeapBias)
 	cells := alloc.AllocAligned(4*8192, 64)
 	bar := alloc.AllocAligned(64, 64)
+	for t := 0; t < 4; t++ {
+		img.addPrivate(t, cells+mem.Addr(t)*8192, 8192)
+	}
 
 	b := isa.NewBuilder().At("water_sp.c", 750)
 	b.Func("worker")

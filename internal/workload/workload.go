@@ -69,8 +69,9 @@ type Image struct {
 	Specs   []machine.ThreadSpec
 	Threads int
 
-	sites []allocSite
-	inits []dataInit
+	sites   []allocSite
+	inits   []dataInit
+	private [][]mem.Range
 }
 
 // addSite records an allocation's source location for Sheriff-style
@@ -83,6 +84,26 @@ func (img *Image) addSite(start, size mem.Addr, loc isa.SourceLoc) {
 func (img *Image) setData(addr mem.Addr, size uint8, val uint64) {
 	img.inits = append(img.inits, dataInit{addr, size, val})
 }
+
+// addPrivate declares [start, start+size) as touched only by thread tid
+// for the workload's whole lifetime — the allocation metadata the static
+// sharing analysis and the intra-run parallel engine consume. Only whole
+// cache lines inside the range count (privacy is a line property), so
+// packed per-thread slots that share a line must not be declared. A
+// declaration another thread in fact touches is a workload bug; the
+// engine's ValidateSharing mode and the cross-engine equivalence tests
+// exist to catch it.
+func (img *Image) addPrivate(tid int, start, size mem.Addr) {
+	for len(img.private) <= tid {
+		img.private = append(img.private, nil)
+	}
+	img.private[tid] = append(img.private[tid], mem.Range{Start: start, End: start + size})
+}
+
+// PrivateRanges returns the declared per-thread private ranges, indexed
+// by thread id, for machine.Config.PrivateData. The slices are shared;
+// callers must not modify them.
+func (img *Image) PrivateRanges() [][]mem.Range { return img.private }
 
 // ResolveLine maps a cache line to the source location of the allocation
 // containing it, if any — what Sheriff reports instead of code locations.

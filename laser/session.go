@@ -141,9 +141,11 @@ func newSession(img *workload.Image, st settings) (*Session, error) {
 
 	var ctl *repair.Controller
 	mcfg := machine.Config{
-		Cores:     cfg.Cores,
-		Probe:     pmu,
-		MaxCycles: cfg.MaxCycles,
+		Cores:       cfg.Cores,
+		Probe:       pmu,
+		MaxCycles:   cfg.MaxCycles,
+		Parallelism: cfg.IntraRunParallelism,
+		PrivateData: img.PrivateRanges(),
 		OnAliasMiss: func(tid int, pc mem.Addr) {
 			if ctl != nil {
 				ctl.OnAliasMiss(tid, pc)
@@ -214,6 +216,24 @@ func (s *Session) SnapshotAt(threshold float64) *core.Report {
 // epoch's window so far.
 func (s *Session) EpochSnapshot() *core.Report {
 	return s.pipe.EpochReportAt(s.m.Stats().Seconds(), s.cfg.Detector.RateThreshold)
+}
+
+// SnapshotInto rebuilds dst as the cumulative report at this moment,
+// reusing dst's buffers — the allocation-free variant of Snapshot for
+// streaming consumers that poll every Step. dst is overwritten wholesale
+// and stays valid until its next reuse.
+func (s *Session) SnapshotInto(dst *core.Report) {
+	s.SnapshotAtInto(dst, s.cfg.Detector.RateThreshold)
+}
+
+// SnapshotAtInto is SnapshotInto with an explicit rate threshold.
+func (s *Session) SnapshotAtInto(dst *core.Report, threshold float64) {
+	s.pipe.ReportAtInto(dst, s.m.Stats().Seconds(), threshold)
+}
+
+// EpochSnapshotInto is the allocation-free counterpart of EpochSnapshot.
+func (s *Session) EpochSnapshotInto(dst *core.Report) {
+	s.pipe.EpochReportAtInto(dst, s.m.Stats().Seconds(), s.cfg.Detector.RateThreshold)
 }
 
 // Step advances the session by one poll interval: the workload runs
