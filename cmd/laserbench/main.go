@@ -5,6 +5,7 @@
 //
 //	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
 //	           [-ascale N] [-pscale N] [-runs N] [-intra N]
+//	           [-cache DIR] [-shard I/N]
 //	           [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Independent simulations run concurrently on every host core; set
@@ -14,6 +15,18 @@
 // parallel engine; -intra (or LASER_BENCH_INTRA) overrides the split.
 // The rendered output is byte-identical at any parallelism, on either
 // axis — only wall time changes.
+//
+// -cache DIR attaches a persistent run cache: every simulation result
+// is content-addressed by (workload, scale, variant, tool, SAV, seed,
+// config fingerprint, code version) and persisted, so re-runs only
+// simulate misses. -shard I/N (0 ≤ I < N, requires -cache) runs the
+// shard warming mode instead of rendering: the selected experiments'
+// work units are partitioned deterministically and only slice I is
+// simulated into the cache. Run N shards (concurrently, e.g. as a CI
+// matrix sharing the cache directory or merging cache artifacts), then
+// render with a plain `laserbench -cache DIR` — it assembles the
+// figures from cache hits alone, byte-identical to an un-sharded run,
+// and the final "runcache:" stderr line reports simulated=0.
 //
 // -json additionally writes machine-readable results — per-figure wall
 // time, key scalar metrics, and a serial-vs-parallel engine
@@ -29,6 +42,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -40,16 +54,27 @@ func main() {
 	pscale := flag.Float64("pscale", 1, "performance experiment scale")
 	runs := flag.Int("runs", 3, "runs per performance data point")
 	intra := flag.Int("intra", 0, "intra-run engine workers per simulation (0 = automatic split)")
+	cacheDir := flag.String("cache", "", "persistent run-cache directory")
+	shardSpec := flag.String("shard", "", "warm shard I/N of the selected experiments into -cache, without rendering")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
+	printCacheStats := func() {
+		if *cacheDir == "" {
+			return
+		}
+		st := experiments.CacheStats()
+		fmt.Fprintf(os.Stderr, "laserbench: runcache: simulated=%d disk_hits=%d mem_hits=%d corrupt=%d write_errs=%d\n",
+			st.Computes, st.DiskHits, st.MemHits, st.Corrupt, st.WriteErrs)
+	}
 	fail := func(err error) {
 		// Flush an in-flight CPU profile before exiting (StopCPUProfile
-		// is a no-op when none is active): a truncated profile from a
-		// failing run is exactly when the data is wanted.
+		// is a no-op when none is active), and report the cache counters:
+		// a failing run is exactly when the data is wanted.
 		pprof.StopCPUProfile()
+		printCacheStats()
 		fmt.Fprintln(os.Stderr, "laserbench:", err)
 		os.Exit(1)
 	}
@@ -69,6 +94,16 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *cacheDir != "" {
+		if err := experiments.SetCacheDir(*cacheDir); err != nil {
+			fail(err)
+		}
+		// The stats line is what the CI warm-run smoke test asserts
+		// simulated=0 on. (Exits through fail print it there instead —
+		// os.Exit skips deferred calls.)
+		defer printCacheStats()
+	}
+
 	cfg := experiments.Config{AccuracyScale: *ascale, PerfScale: *pscale, Runs: *runs}
 	bench := experiments.NewBenchReport(cfg)
 	want := map[string]bool{}
@@ -76,6 +111,38 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
+
+	if *shardSpec != "" {
+		if *cacheDir == "" {
+			fail(fmt.Errorf("-shard requires -cache"))
+		}
+		// Parse strictly — Sscanf would accept trailing garbage like
+		// "1/2x" and silently warm the wrong partition.
+		is, ns, ok := strings.Cut(*shardSpec, "/")
+		shard, err1 := strconv.Atoi(is)
+		n, err2 := strconv.Atoi(ns)
+		if !ok || err1 != nil || err2 != nil || n < 1 || shard < 0 || shard >= n {
+			fail(fmt.Errorf("invalid -shard %q: want I/N with 0 <= I < N", *shardSpec))
+		}
+		// The shard enumeration works in runner granularity: tab1, tab2
+		// and fig9 all derive from the accuracy measurement.
+		wantExp := func(e string) bool {
+			if all {
+				return true
+			}
+			if e == "accuracy" {
+				return want["accuracy"] || want["tab1"] || want["tab2"] || want["fig9"]
+			}
+			return want[e]
+		}
+		owned, total, err := experiments.RunShard(cfg, wantExp, shard, n, os.Stderr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "laserbench: shard %d/%d warmed %d of %d work units into %s\n",
+			shard, n, owned, total, *cacheDir)
+		return
+	}
 
 	if all || want["fig3"] {
 		err := bench.Time("fig3", func() (map[string]float64, error) {
@@ -136,10 +203,6 @@ func main() {
 		}
 	}
 	if all || want["fig11"] {
-		if *pscale < 0.5 {
-			fmt.Fprintf(os.Stderr, "laserbench: note: -pscale %g is below ~0.5, the online-repair "+
-				"trigger may not fire; affected Figure 11 rows will be marked explicitly\n", *pscale)
-		}
 		err := bench.Time("fig11", func() (map[string]float64, error) {
 			rows, err := experiments.RunFigure11(cfg)
 			if err != nil {

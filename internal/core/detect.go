@@ -371,21 +371,29 @@ func (p *Pipeline) EpochReportAtInto(dst *Report, seconds, threshold float64) {
 }
 
 func (p *Pipeline) reportInto(rep *Report, lines map[isa.SourceLoc]*lineStat, seconds, threshold float64) {
+	buildReport(rep, p.cfg, lines, seconds, threshold)
+}
+
+// buildReport computes a report from per-line aggregates. It is shared
+// between the live Pipeline and the serializable PipeState, which is
+// what guarantees a report rebuilt from a cached snapshot is
+// byte-identical to the one the pipeline would have produced.
+func buildReport(rep *Report, cfg Config, lines map[isa.SourceLoc]*lineStat, seconds, threshold float64) {
 	rep.Lines = rep.Lines[:0]
 	rep.Seconds = seconds
 	if seconds <= 0 {
 		return
 	}
 	for loc, ls := range lines {
-		rate := float64(ls.records) * float64(p.cfg.SAV) / seconds
+		rate := float64(ls.records) * float64(cfg.SAV) / seconds
 		if rate < threshold {
 			continue
 		}
 		rl := ReportLine{Loc: loc, Rate: rate, TS: ls.ts, FS: ls.fs}
 		events := ls.ts + ls.fs
 		switch {
-		case events < uint64(p.cfg.MinClassifyEvents),
-			float64(events) < p.cfg.MinModelFraction*float64(ls.records+ls.badAddr):
+		case events < uint64(cfg.MinClassifyEvents),
+			float64(events) < cfg.MinModelFraction*float64(ls.records+ls.badAddr):
 			rl.Kind = Unknown
 		case ls.ts >= ls.fs:
 			rl.Kind = TrueSharing

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// This file is the serializable face of the detection pipeline: a
+// PipeState captures the cumulative per-line aggregates a Pipeline has
+// accumulated, in a flat, export-friendly shape (plain structs, sorted
+// slices, no maps of pointers), and can rebuild the detector's reports
+// at any rate threshold without the pipeline — the property behind both
+// the Figure 9 offline re-thresholding and the experiment harness's
+// persistent run cache, which stores snapshots instead of live
+// pipelines.
+
+// LineAggregate is one source line's accumulated evidence.
+type LineAggregate struct {
+	Loc     isa.SourceLoc
+	Records uint64 // HITM records attributed to the line
+	BadAddr uint64 // records whose data address failed the outlier filter
+	TS, FS  uint64 // cache-line-model event counts
+}
+
+// PCCount is one program counter's false-sharing model event count.
+type PCCount struct {
+	PC    mem.Addr
+	Count uint64
+}
+
+// PipeState is a self-contained snapshot of a pipeline's cumulative
+// aggregates. The slices are sorted (lines by location, PCs ascending)
+// so that serialized snapshots are deterministic byte-for-byte.
+type PipeState struct {
+	Config Config
+	Lines  []LineAggregate
+	FSByPC []PCCount
+	Filter FilterStats
+	Cycles uint64 // detector CPU cycles consumed (Figure 12)
+}
+
+// State snapshots the pipeline's cumulative aggregates. The snapshot is
+// independent of the pipeline: later Feeds do not alter it.
+func (p *Pipeline) State() *PipeState {
+	st := &PipeState{
+		Config: p.cfg,
+		Lines:  make([]LineAggregate, 0, len(p.lines)),
+		FSByPC: make([]PCCount, 0, len(p.fsByPC)),
+		Filter: p.filter,
+		Cycles: p.cycles,
+	}
+	for loc, ls := range p.lines {
+		st.Lines = append(st.Lines, LineAggregate{
+			Loc: loc, Records: ls.records, BadAddr: ls.badAddr, TS: ls.ts, FS: ls.fs,
+		})
+	}
+	slices.SortFunc(st.Lines, func(a, b LineAggregate) int {
+		if c := cmp.Compare(a.Loc.File, b.Loc.File); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Loc.Line, b.Loc.Line)
+	})
+	for pc, n := range p.fsByPC {
+		st.FSByPC = append(st.FSByPC, PCCount{PC: pc, Count: n})
+	}
+	slices.SortFunc(st.FSByPC, func(a, b PCCount) int { return cmp.Compare(a.PC, b.PC) })
+	return st
+}
+
+// ReportAt computes the report for an observation window of the given
+// duration at an explicit rate threshold — Pipeline.ReportAt over the
+// snapshot, byte-identical to what the snapshotted pipeline would
+// render.
+func (st *PipeState) ReportAt(seconds, threshold float64) *Report {
+	lines := make(map[isa.SourceLoc]*lineStat, len(st.Lines))
+	for _, l := range st.Lines {
+		lines[l.Loc] = &lineStat{records: l.Records, badAddr: l.BadAddr, ts: l.TS, fs: l.FS}
+	}
+	rep := &Report{}
+	buildReport(rep, st.Config, lines, seconds, threshold)
+	return rep
+}
+
+// Report uses the snapshot's configured default threshold.
+func (st *PipeState) Report(seconds float64) *Report {
+	return st.ReportAt(seconds, st.Config.RateThreshold)
+}
+
+// DetectorCycles returns the CPU time the snapshotted detector had
+// consumed.
+func (st *PipeState) DetectorCycles() uint64 { return st.Cycles }

@@ -49,7 +49,7 @@ type AccuracyResult struct {
 	Rows []Tab1Row
 
 	// Retained detector state for offline re-thresholding (Figure 9).
-	pipelines map[string]*core.Pipeline
+	pipelines map[string]*core.PipeState
 	seconds   map[string]float64
 }
 
@@ -65,7 +65,7 @@ func RunAccuracy(cfg Config) (*AccuracyResult, error) {
 	intra := intraRunWorkers(len(names))
 	err := forEach(len(names), func(i int) error {
 		sub := &AccuracyResult{
-			pipelines: make(map[string]*core.Pipeline),
+			pipelines: make(map[string]*core.PipeState),
 			seconds:   make(map[string]float64),
 		}
 		row, err := accuracyRow(cfg, names[i], intra, sub)
@@ -80,7 +80,7 @@ func RunAccuracy(cfg Config) (*AccuracyResult, error) {
 	}
 	res := &AccuracyResult{
 		Rows:      rows,
-		pipelines: make(map[string]*core.Pipeline),
+		pipelines: make(map[string]*core.PipeState),
 		seconds:   make(map[string]float64),
 	}
 	for _, sub := range subs {
@@ -106,11 +106,11 @@ func accuracyRow(cfg Config, name string, intra int, res *AccuracyResult) (Tab1R
 	if err != nil {
 		return row, err
 	}
-	res.pipelines[name] = lres.Pipeline
+	res.pipelines[name] = lres.Pipe
 	res.seconds[name] = lres.Seconds
 	var laserLocs []isa.SourceLoc
 	bestRate := make(map[string]float64)
-	for _, l := range lres.Report.Lines {
+	for _, l := range lres.Report().Lines {
 		if l.Loc.File == libFile {
 			continue
 		}
@@ -128,7 +128,7 @@ func accuracyRow(cfg Config, name string, intra int, res *AccuracyResult) (Tab1R
 		return row, err
 	}
 	var vtuneLocs []isa.SourceLoc
-	for _, l := range v.lines {
+	for _, l := range v.Lines {
 		if l.Loc.File == libFile {
 			continue
 		}
@@ -141,15 +141,15 @@ func accuracyRow(cfg Config, name string, intra int, res *AccuracyResult) (Tab1R
 	if err != nil {
 		return row, err
 	}
-	row.SheriffStatus = sh.status
-	if sh.status == sheriff.OK {
+	row.SheriffStatus = sh.Status
+	if sh.Status == sheriff.OK {
 		row.SheriffRan = true
 		var locs []isa.SourceLoc
-		for _, f := range sh.findings {
+		for _, f := range sh.Findings {
 			locs = append(locs, f.AllocSite)
 		}
 		row.SheriffFN, row.SheriffFP = score(name, locs)
-		if len(sh.findings) > 0 {
+		if len(sh.Findings) > 0 {
 			// Sheriff only ever reports false sharing.
 			row.SheriffKind = core.FalseSharing
 			row.SheriffKindValid = true

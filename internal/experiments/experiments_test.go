@@ -63,7 +63,7 @@ func TestAccuracyHeadlines(t *testing.T) {
 		{name: "streamcluster", wantKind: core.FalseSharing},
 	} {
 		res := &AccuracyResult{
-			pipelines: map[string]*core.Pipeline{},
+			pipelines: map[string]*core.PipeState{},
 			seconds:   map[string]float64{},
 		}
 		row, err := accuracyRow(cfg, tc.name, 1, res)
@@ -85,7 +85,7 @@ func TestAccuracyHeadlines(t *testing.T) {
 func TestDedupVTuneFalseNegative(t *testing.T) {
 	cfg := Config{AccuracyScale: 8, Runs: 1}
 	res := &AccuracyResult{
-		pipelines: map[string]*core.Pipeline{},
+		pipelines: map[string]*core.PipeState{},
 		seconds:   map[string]float64{},
 	}
 	row, err := accuracyRow(cfg, "dedup", 1, res)
@@ -108,7 +108,7 @@ func TestAccuracyQuietWorkloads(t *testing.T) {
 	cfg := Config{AccuracyScale: 3, Runs: 1}
 	for _, name := range []string{"blackscholes", "string_match", "pca", "fft", "ocean_cp"} {
 		res := &AccuracyResult{
-			pipelines: map[string]*core.Pipeline{},
+			pipelines: map[string]*core.PipeState{},
 			seconds:   map[string]float64{},
 		}
 		row, err := accuracyRow(cfg, name, 1, res)
@@ -137,7 +137,7 @@ func TestSheriffAccuracyMechanisms(t *testing.T) {
 		{"reverse_index", 1, 1}, // found, but only the malloc wrapper site
 	} {
 		res := &AccuracyResult{
-			pipelines: map[string]*core.Pipeline{},
+			pipelines: map[string]*core.PipeState{},
 			seconds:   map[string]float64{},
 		}
 		row, err := accuracyRow(cfg, tc.name, 1, res)
@@ -162,7 +162,7 @@ func TestFigure9Shape(t *testing.T) {
 	}
 	cfg := Config{AccuracyScale: 5, Runs: 1}
 	res := &AccuracyResult{
-		pipelines: map[string]*core.Pipeline{},
+		pipelines: map[string]*core.PipeState{},
 		seconds:   map[string]float64{},
 	}
 	// A representative subset keeps the test fast.
@@ -213,7 +213,7 @@ func TestFigure10Subset(t *testing.T) {
 				if err != nil {
 					return 0, err
 				}
-				return out.stats.Cycles, nil
+				return out.Stats.Cycles, nil
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -287,6 +287,32 @@ func TestFigure14Mechanisms(t *testing.T) {
 	}
 	if text := RenderFigure14(rows); !strings.Contains(text, "water_nsquared") {
 		t.Error("render broken")
+	}
+}
+
+// Figure 11 rendering: the per-seed repair accounting shows through —
+// fully-repaired bars render plainly, partially-repaired bars carry the
+// repaired/total annotation, and only zero-repair bars get the marker.
+func TestFigure11RenderSeedAccounting(t *testing.T) {
+	rows := []Fig11Row{
+		{Workload: "all", Mode: "automatic", Speedup: 1.5, Repaired: 3, Seeds: 3},
+		{Workload: "some", Mode: "automatic", Speedup: 1.4, Repaired: 2, Seeds: 3},
+		{Workload: "none", Mode: "automatic", NoRepair: true, Seeds: 3},
+		{Workload: "manual", Mode: "manual", Speedup: 6.5},
+	}
+	text := RenderFigure11(rows)
+	for _, want := range []string{
+		"1.50x",
+		"1.40x (2/3 seeds repaired)",
+		"repair did not trigger at this scale",
+		"6.50x",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "(3/3") {
+		t.Errorf("fully-repaired bar should not be annotated:\n%s", text)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/pebs"
+	"repro/internal/runcache"
 	"repro/internal/texttab"
 )
 
@@ -115,12 +116,17 @@ func buildCharCase(cat CharCategory, variant int) (*isa.Program, []machine.Threa
 	return p, specs, trueAddrs, truePCs
 }
 
+// charVariants is the per-category case count of the Figure 3
+// characterization; the shard work-unit enumeration reads the same
+// constant.
+const charVariants = 40
+
 // RunFigure3 executes the 160 test cases and returns per-case data plus
 // per-category summaries. The cases are independent two-thread machines
 // and run concurrently on the experiment pool.
 func RunFigure3() ([]CharCase, []CharSummary, error) {
 	cats := []CharCategory{TSRW, FSRW, TSWW, FSWW}
-	const variants = 40
+	const variants = charVariants
 	cases := make([]CharCase, len(cats)*variants)
 	err := forEach(len(cases), func(i int) error {
 		cat, variant := cats[i/variants], i%variants
@@ -158,12 +164,33 @@ func RunFigure3() ([]CharCase, []CharSummary, error) {
 
 var charSeeds = map[CharCategory]int64{TSRW: 1, FSRW: 2, TSWW: 3, FSWW: 4}
 
+// charKey builds the cache key (and PEBS configuration) of one
+// characterization case.
+func charKey(cat CharCategory, variant int) (runcache.Key, pebs.Config) {
+	pcfg := pebs.Config{SAV: 1, BufferCap: 256, AssistCycles: 0,
+		Seed: int64(variant)*41 + charSeeds[cat]}
+	return runcache.Key{
+		Tool: "char", Workload: string(cat), Seed: int64(variant),
+		SAV:     pcfg.SAV,
+		Config:  fp(pcfg),
+		Version: runcache.CodeVersion(),
+	}, pcfg
+}
+
+// runCharCase executes one characterization case, through the run
+// cache: the 160 cases are deterministic in (category, variant) and the
+// PEBS configuration, like every other simulation of the evaluation.
 func runCharCase(cat CharCategory, variant int) (CharCase, error) {
+	key, pcfg := charKey(cat, variant)
+	return runcache.Do(cache, key, func() (CharCase, error) {
+		return simCharCase(cat, variant, pcfg)
+	})
+}
+
+func simCharCase(cat CharCategory, variant int, pcfg pebs.Config) (CharCase, error) {
 	prog, specs, trueAddrs, truePCs := buildCharCase(cat, variant)
 	vm := mem.StandardMap(prog.AppTextSize(), prog.LibTextSize(), 1<<20, 2)
 	sink := &charSink{}
-	pcfg := pebs.Config{SAV: 1, BufferCap: 256, AssistCycles: 0,
-		Seed: int64(variant)*41 + charSeeds[cat]}
 	pmu := pebs.New(pcfg, 4, prog, vm, sink)
 	m := machine.New(prog, machine.Config{Cores: 2, Probe: pmu}, specs)
 	if _, err := m.Run(); err != nil {

@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"bytes"
+	"os"
 	"reflect"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -78,11 +82,11 @@ func TestSerialParallelEquivalence(t *testing.T) {
 func TestIntraRunEquivalence(t *testing.T) {
 	cfg := Config{AccuracyScale: 2, PerfScale: 0.5, Runs: 1}
 	capture := func() string {
-		// The native-baseline memo must not leak runs across engine
-		// settings within this test, or the comparison would be
-		// vacuous; distinct scales per env setting would defeat the
-		// point, so clear it instead.
-		nativeRuns = sync.Map{}
+		// The run cache must not leak runs across engine settings
+		// within this test, or the comparison would be vacuous;
+		// distinct scales per env setting would defeat the point, so
+		// clear it instead.
+		resetCache()
 		rows, err := RunFigure11(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -115,6 +119,80 @@ func TestIntraRunWorkersSplit(t *testing.T) {
 	t.Setenv("LASER_BENCH_INTRA", "2")
 	if got := intraRunWorkers(35); got != 2 {
 		t.Errorf("LASER_BENCH_INTRA override ignored: got %d", got)
+	}
+}
+
+// TestEnvKnobRejection pins the loud-rejection contract of the
+// environment knobs: well-formed values are honoured, malformed or
+// out-of-range ones warn on stderr once per (variable, value) pair and
+// fall back to the documented default.
+func TestEnvKnobRejection(t *testing.T) {
+	var buf bytes.Buffer
+	envWarnWriter = &buf
+	defer func() { envWarnWriter = os.Stderr }()
+
+	gmp := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		env      string
+		parallel int  // want from Parallelism()
+		warn     bool // want a warning emitted
+	}{
+		{"3", 3, false},
+		{"1", 1, false},
+		{"0", gmp, true},
+		{"-2", gmp, true},
+		{"banana", gmp, true},
+		{"2.5", gmp, true},
+		{"", gmp, false}, // unset-equivalent: silent default
+	} {
+		envWarned = sync.Map{}
+		buf.Reset()
+		t.Setenv("LASER_BENCH_PARALLEL", tc.env)
+		if got := Parallelism(); got != tc.parallel {
+			t.Errorf("LASER_BENCH_PARALLEL=%q: Parallelism() = %d, want %d", tc.env, got, tc.parallel)
+		}
+		if warned := buf.Len() > 0; warned != tc.warn {
+			t.Errorf("LASER_BENCH_PARALLEL=%q: warned=%v, want %v (output %q)", tc.env, warned, tc.warn, buf.String())
+		}
+		if tc.warn && !strings.Contains(buf.String(), "GOMAXPROCS") {
+			t.Errorf("LASER_BENCH_PARALLEL=%q: warning %q does not name the fallback", tc.env, buf.String())
+		}
+	}
+
+	t.Setenv("LASER_BENCH_PARALLEL", "4")
+	for _, tc := range []struct {
+		env   string
+		tasks int
+		want  int // want from intraRunWorkers(tasks)
+		warn  bool
+	}{
+		{"2", 35, 2, false}, // explicit override wins even with many tasks
+		{"0", 35, 1, true},  // malformed: automatic split (runs saturate)
+		{"0", 1, 4, true},   // malformed: automatic split (leftovers inside)
+		{"x", 1, 4, true},
+		{"-1", 35, 1, true},
+		{"", 35, 1, false},
+	} {
+		envWarned = sync.Map{}
+		buf.Reset()
+		t.Setenv("LASER_BENCH_INTRA", tc.env)
+		if got := intraRunWorkers(tc.tasks); got != tc.want {
+			t.Errorf("LASER_BENCH_INTRA=%q: intraRunWorkers(%d) = %d, want %d", tc.env, tc.tasks, got, tc.want)
+		}
+		if warned := buf.Len() > 0; warned != tc.warn {
+			t.Errorf("LASER_BENCH_INTRA=%q: warned=%v, want %v (output %q)", tc.env, warned, tc.warn, buf.String())
+		}
+	}
+
+	// The warning dedupes per (variable, value): repeated reads of one
+	// bad setting print once.
+	envWarned = sync.Map{}
+	buf.Reset()
+	t.Setenv("LASER_BENCH_PARALLEL", "nope")
+	Parallelism()
+	Parallelism()
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("repeated reads of one bad value warned %d times, want 1:\n%s", got, buf.String())
 	}
 }
 

@@ -41,7 +41,7 @@ func RunFigure10(cfg Config) ([]Fig10Row, error) {
 			if err != nil {
 				return 0, err
 			}
-			return out.stats.Cycles, nil
+			return out.Stats.Cycles, nil
 		})
 		if err != nil {
 			return fmt.Errorf("fig10 %s vtune: %w", name, err)
@@ -82,47 +82,37 @@ type Fig11Row struct {
 	Workload string
 	Mode     string // "automatic" (LASERREPAIR) or "manual" (source fix)
 	Speedup  float64
-	// NoRepair marks automatic rows whose runs never crossed the repair
-	// trigger threshold — at low PerfScale (< ~0.5) the observation
-	// window is too short for the §4.4 rate to build up, and a speedup
-	// of a run that never repaired would be meaningless.
+	// Repaired and Seeds count, for automatic rows, how many of the
+	// seeds actually crossed the §4.4 trigger and repaired; the speedup
+	// aggregates cycles from those runs only.
+	Repaired, Seeds int
+	// NoRepair marks automatic rows none of whose seeds crossed the
+	// repair trigger threshold — the evidence was genuinely insufficient
+	// at this scale, and a speedup of runs that never repaired would be
+	// meaningless.
 	NoRepair bool
 }
 
 // RunFigure11 measures the automatic (online repair) and manual (source
 // fix) speedups of §7.2/Figure 11. All bars run concurrently.
+//
+// Automatic rows track each sampling seed's outcome separately: only
+// runs that actually repaired contribute cycles to the speedup's
+// trimmed mean, so one unlucky seed cannot poison the bar with
+// never-repaired (native-speed) cycles, and the explicit marker row
+// appears only when no seed repaired at all.
 func RunFigure11(cfg Config) ([]Fig11Row, error) {
-	autoNames := []string{"histogram'", "linear_regression"}
-	manualNames := []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"}
+	autoNames, manualNames := fig11AutoSet, fig11ManualSet
 	rows := make([]Fig11Row, len(autoNames)+len(manualNames))
 	intra := intraRunWorkers(len(rows))
 	err := forEach(len(rows), func(i int) error {
 		if i < len(autoNames) {
 			name := autoNames[i]
-			triggered := true
-			norm, err := normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
-				res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, intra)
-				if err != nil {
-					return 0, err
-				}
-				if !res.RepairApplied {
-					if res.RepairErr != nil {
-						return 0, fmt.Errorf("repair declined: %w", res.RepairErr)
-					}
-					// Below the trigger threshold at this scale: report an
-					// explicit marker row instead of a bogus speedup.
-					triggered = false
-				}
-				return res.Stats.Cycles, nil
-			})
+			row, err := fig11AutoRow(cfg, name, intra)
 			if err != nil {
 				return fmt.Errorf("fig11 auto %s: %w", name, err)
 			}
-			if !triggered {
-				rows[i] = Fig11Row{Workload: name, Mode: "automatic", NoRepair: true}
-				return nil
-			}
-			rows[i] = Fig11Row{Workload: name, Mode: "automatic", Speedup: 1 / norm}
+			rows[i] = row
 			return nil
 		}
 		name := manualNames[i-len(autoNames)]
@@ -145,12 +135,72 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 	return rows, nil
 }
 
-// RenderFigure11 formats the speedups.
+// fig11AutoSet and fig11ManualSet are Figure 11's benchmark lists
+// (§7.2); the shard work-unit enumeration reads the same slices, so the
+// two cannot drift.
+var (
+	fig11AutoSet   = []string{"histogram'", "linear_regression"}
+	fig11ManualSet = []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"}
+)
+
+// fig11AutoRow measures one automatic (online repair) bar, seed by seed.
+func fig11AutoRow(cfg Config, name string, intra int) (Fig11Row, error) {
+	row := Fig11Row{Workload: name, Mode: "automatic"}
+	native, err := repeated(cfg, func(int64) (uint64, error) {
+		st, err := runNative(name, cfg.PerfScale, workload.Native, intra)
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	})
+	if err != nil {
+		return row, err
+	}
+	if native == 0 {
+		return row, fmt.Errorf("experiments: %s native ran in zero cycles", name)
+	}
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	row.Seeds = runs
+	repaired := make([]float64, 0, runs)
+	for seed := 1; seed <= runs; seed++ {
+		res, err := runLaser(name, cfg.PerfScale, true, laserSAV, int64(seed), intra)
+		if err != nil {
+			return row, err
+		}
+		if !res.RepairApplied {
+			if err := res.RepairError(); err != nil {
+				return row, fmt.Errorf("repair declined: %w", err)
+			}
+			// This seed's sampling never crossed the trigger; its
+			// native-speed cycles must not dilute the repaired mean.
+			continue
+		}
+		repaired = append(repaired, float64(res.Stats.Cycles))
+	}
+	row.Repaired = len(repaired)
+	if row.Repaired == 0 {
+		row.NoRepair = true
+		return row, nil
+	}
+	row.Speedup = native / metrics.TrimmedMean(repaired)
+	return row, nil
+}
+
+// RenderFigure11 formats the speedups. Automatic bars where only some
+// seeds repaired are annotated with the repaired/total seed count — the
+// speedup aggregates the repaired runs only; fully-repaired bars render
+// as a plain speedup.
 func RenderFigure11(rows []Fig11Row) string {
 	t := texttab.New("Figure 11: speedups from LaserRepair (automatic) and source fixes (manual)",
 		"benchmark", "mode", "speedup")
 	for _, r := range rows {
 		cell := fmt.Sprintf("%.2fx", r.Speedup)
+		if r.Repaired > 0 && r.Repaired < r.Seeds {
+			cell = fmt.Sprintf("%.2fx (%d/%d seeds repaired)", r.Speedup, r.Repaired, r.Seeds)
+		}
 		if r.NoRepair {
 			cell = "repair did not trigger at this scale"
 		}
@@ -232,10 +282,14 @@ type Fig13Point struct {
 	Normalized float64
 }
 
+// fig13SAVs is the Figure 13 sample-after sweep; the shard work-unit
+// enumeration reads the same slice.
+var fig13SAVs = []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+
 // RunFigure13 sweeps the sample-after value on dedup (§7.2.1, Figure 13).
 // The sweep points run concurrently against one memoized dedup baseline.
 func RunFigure13(cfg Config) ([]Fig13Point, error) {
-	savs := []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+	savs := fig13SAVs
 	out := make([]Fig13Point, len(savs))
 	intra := intraRunWorkers(len(savs))
 	err := forEach(len(savs), func(i int) error {
@@ -276,6 +330,18 @@ var fig14Set = []string{
 	"linear_regression", "lu_cb", "lu_ncb", "matrix_multiply", "pca",
 	"radix", "raytrace.splash2x", "reverse_index", "string_match",
 	"swaptions", "water_nsquared", "water_spatial",
+}
+
+// fig14SheriffScale returns the workload scale and force flag of a
+// Figure 14 Sheriff run: simlarge-gated workloads run forced at half
+// scale. RunFigure14 and the shard work-unit enumeration share it.
+func fig14SheriffScale(w *workload.Workload, perfScale float64) (scale float64, force bool) {
+	force = w.SheriffSmallOK
+	scale = perfScale
+	if force {
+		scale = perfScale * 0.5
+	}
+	return scale, force
 }
 
 // Fig14Row is one benchmark of the Sheriff comparison. Failed cells hold
@@ -324,11 +390,7 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 		}
 		// Sheriff: OK workloads run at full scale; SmallOK ones at the
 		// reduced simlarge-style scale; the rest fail.
-		force := w.SheriffSmallOK
-		scale := cfg.PerfScale
-		if force {
-			scale = cfg.PerfScale * 0.5
-		}
+		scale, force := fig14SheriffScale(w, cfg.PerfScale)
 		if w.Sheriff != sheriff.OK && !force {
 			row.SheriffFailed = true
 		} else {
@@ -344,11 +406,11 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 			if err != nil {
 				return err
 			}
-			if det.status != sheriff.OK || prot.status != sheriff.OK {
+			if det.Status != sheriff.OK || prot.Status != sheriff.OK {
 				row.SheriffFailed = true
 			} else {
-				row.SheriffDet = float64(det.stats.Cycles) / float64(nat.Cycles)
-				row.SheriffProt = float64(prot.stats.Cycles) / float64(nat.Cycles)
+				row.SheriffDet = float64(det.Stats.Cycles) / float64(nat.Cycles)
+				row.SheriffProt = float64(prot.Stats.Cycles) / float64(nat.Cycles)
 			}
 		}
 		rows[i] = row

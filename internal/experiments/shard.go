@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline/sheriff"
+	"repro/internal/runcache"
+	"repro/internal/workload"
+)
+
+// Shard mode splits a full evaluation across an N-way process matrix:
+// every simulation the selected experiments perform is enumerated as a
+// WorkUnit, partitioned deterministically by its cache key, and each
+// shard process warms its slice of a shared cache directory. A final
+// un-sharded run over the merged cache then assembles the rendered
+// tables entirely from hits — byte-identical to a cold single-process
+// evaluation, because figures read the same cache entries either way.
+//
+// The enumeration mirrors the figure runners run for run; the
+// shard-merge equivalence test (and CI's warm-run smoke test, which
+// demands zero simulations on a warmed cache) pins the two against
+// drifting apart.
+
+// WorkUnit is one cacheable simulation of the evaluation.
+type WorkUnit struct {
+	Key   runcache.Key
+	Label string
+	// Run computes the unit (through the run cache) with the given
+	// intra-run worker count.
+	Run func(intra int) error
+}
+
+// workUnits enumerates the simulations behind the selected experiments
+// ("fig3", "accuracy", "fig10"…"fig14"), deduplicated by cache key —
+// e.g. every figure that normalizes against the same native baseline
+// contributes it once.
+func workUnits(cfg Config, want func(exp string) bool) []WorkUnit {
+	var units []WorkUnit
+	seen := map[string]bool{}
+	add := func(key runcache.Key, label string, run func(intra int) error) {
+		if seen[key.ID()] {
+			return
+		}
+		seen[key.ID()] = true
+		units = append(units, WorkUnit{Key: key, Label: label, Run: run})
+	}
+	addNative := func(name string, scale float64, v workload.Variant) {
+		add(nativeKey(name, scale, v), fmt.Sprintf("native/%s@%g/v%d", name, scale, v),
+			func(intra int) error { _, err := runNative(name, scale, v, intra); return err })
+	}
+	addLaser := func(name string, scale float64, repairOn bool, sav int, seed int64) {
+		key, _ := laserKey(name, scale, repairOn, sav, seed)
+		add(key, fmt.Sprintf("laser/%s@%g/repair=%t/sav%d/seed%d", name, scale, repairOn, sav, seed),
+			func(intra int) error { _, err := runLaser(name, scale, repairOn, sav, seed, intra); return err })
+	}
+	addVTune := func(name string, scale float64, seed int64) {
+		key, _ := vtuneKey(name, scale, seed)
+		add(key, fmt.Sprintf("vtune/%s@%g/seed%d", name, scale, seed),
+			func(intra int) error { _, err := runVTune(name, scale, seed, intra); return err })
+	}
+	addSheriff := func(name string, scale float64, mode sheriff.Mode, force bool) {
+		add(sheriffKey(name, scale, mode, force), fmt.Sprintf("sheriff/%s@%g/mode%d", name, scale, mode),
+			func(intra int) error { _, err := runSheriff(name, scale, mode, force, intra); return err })
+	}
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+
+	if want("fig3") {
+		for _, cat := range []CharCategory{TSRW, FSRW, TSWW, FSWW} {
+			for variant := 0; variant < charVariants; variant++ {
+				cat, variant := cat, variant
+				key, _ := charKey(cat, variant)
+				add(key, fmt.Sprintf("char/%s/%d", cat, variant),
+					func(int) error { _, err := runCharCase(cat, variant); return err })
+			}
+		}
+	}
+	if want("accuracy") {
+		for _, name := range workloadNames() {
+			addLaser(name, cfg.AccuracyScale, false, laserSAV, 1)
+			addVTune(name, cfg.AccuracyScale, 1)
+			if w, ok := workload.Get(name); ok && w.Sheriff == sheriff.OK {
+				addSheriff(name, cfg.AccuracyScale, sheriff.Detect, false)
+			}
+		}
+	}
+	if want("fig10") {
+		for _, name := range workloadNames() {
+			addNative(name, cfg.PerfScale, workload.Native)
+			for seed := 1; seed <= runs; seed++ {
+				addLaser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+				addVTune(name, cfg.PerfScale, int64(seed))
+			}
+		}
+	}
+	if want("fig11") {
+		for _, name := range fig11AutoSet {
+			addNative(name, cfg.PerfScale, workload.Native)
+			for seed := 1; seed <= runs; seed++ {
+				addLaser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+			}
+		}
+		for _, name := range fig11ManualSet {
+			addNative(name, cfg.PerfScale, workload.Native)
+			addNative(name, cfg.PerfScale, workload.Fixed)
+		}
+	}
+	if want("fig12") {
+		for _, name := range workloadNames() {
+			addLaser(name, cfg.PerfScale, false, laserSAV, 1)
+			addNative(name, cfg.PerfScale, workload.Native)
+		}
+	}
+	if want("fig13") {
+		addNative("dedup", cfg.PerfScale, workload.Native)
+		for _, sav := range fig13SAVs {
+			for seed := 1; seed <= runs; seed++ {
+				addLaser("dedup", cfg.PerfScale, false, sav, int64(seed))
+			}
+		}
+	}
+	if want("fig14") {
+		for _, name := range fig14Set {
+			w, _ := workload.Get(name)
+			addNative(name, cfg.PerfScale, workload.Native)
+			for seed := 1; seed <= runs; seed++ {
+				addLaser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+			}
+			if w.HasFix {
+				addNative(name, cfg.PerfScale, workload.Fixed)
+			}
+			scale, force := fig14SheriffScale(w, cfg.PerfScale)
+			if w.Sheriff == sheriff.OK || force {
+				addNative(name, scale, workload.Native)
+				addSheriff(name, scale, sheriff.Detect, force)
+				addSheriff(name, scale, sheriff.Protect, force)
+			}
+		}
+	}
+	return units
+}
+
+// RunShard executes the shard'th of n deterministic slices of the
+// selected experiments' work units on the experiment pool, warming the
+// attached cache. It returns how many units this shard owns out of the
+// enumerated total. Progress (one line per completed phase) goes to w
+// when non-nil.
+func RunShard(cfg Config, want func(exp string) bool, shard, n int, w io.Writer) (owned, total int, err error) {
+	if n < 1 || shard < 0 || shard >= n {
+		return 0, 0, fmt.Errorf("experiments: shard %d/%d out of range", shard, n)
+	}
+	units := workUnits(cfg, want)
+	var mine []WorkUnit
+	for _, u := range units {
+		if u.Key.Shard(n) == shard {
+			mine = append(mine, u)
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "shard %d/%d owns %d of %d work units\n", shard, n, len(mine), len(units))
+	}
+	intra := intraRunWorkers(len(mine))
+	err = forEach(len(mine), func(i int) error {
+		if err := mine[i].Run(intra); err != nil {
+			return fmt.Errorf("shard unit %s: %w", mine[i].Label, err)
+		}
+		return nil
+	})
+	return len(mine), len(units), err
+}

@@ -1,0 +1,26 @@
+package laser
+
+import "testing"
+
+func TestConfigFingerprint(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal configs fingerprint differently")
+	}
+	b.PEBS.Seed = 99
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("PEBS seed change not reflected in fingerprint")
+	}
+	c := DefaultConfig()
+	c.PollInterval = 600_000
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("poll-interval change not reflected in fingerprint")
+	}
+	// Intra-run parallelism is byte-identity-preserving and must be
+	// excluded: a cache entry computed serially serves parallel runs.
+	d := DefaultConfig()
+	d.IntraRunParallelism = 4
+	if a.Fingerprint() != d.Fingerprint() {
+		t.Error("intra-run parallelism leaked into the fingerprint")
+	}
+}
