@@ -58,6 +58,10 @@ func main() {
 		laser.WithRateThreshold(*threshold),
 		laser.WithRepair(!*noRepair),
 		laser.WithMaxEpochs(*epochs),
+		// Scale the poll cadence with the workload so scaled-down runs
+		// still reach the §4.4 repair-trigger checks (at -scale >= 1 this
+		// is exactly the paper's fixed cadence).
+		laser.WithAutoPollInterval(*scale),
 		// -epochs 1 reproduces the paper's one-shot pass exactly,
 		// including its frozen-at-repair exit report; multi-epoch runs
 		// keep the report live across repairs.

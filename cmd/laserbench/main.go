@@ -5,16 +5,19 @@
 //
 //	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
 //	           [-ascale N] [-pscale N] [-runs N] [-intra N]
-//	           [-cache DIR] [-shard I/N]
+//	           [-cache DIR] [-shard I/N] [-shard-partition cost|hash]
+//	           [-cache-gc AGE] [-cache-gc-bytes N]
 //	           [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
-// Independent simulations run concurrently on every host core; set
-// LASER_BENCH_PARALLEL to pick the worker count (1 = fully serial).
-// When a phase has fewer runnable simulations than host workers, the
-// leftovers move inside each simulated machine via the intra-run
-// parallel engine; -intra (or LASER_BENCH_INTRA) overrides the split.
-// The rendered output is byte-identical at any parallelism, on either
-// axis — only wall time changes.
+// Every experiment is a registered spec (enumerated work units plus a
+// cache-pure assembly step); a single executor runs the selected specs'
+// units concurrently on every host core and assembles each figure from
+// the run cache. Set LASER_BENCH_PARALLEL to pick the worker count
+// (1 = fully serial). When a phase has fewer runnable simulations than
+// host workers, the leftovers move inside each simulated machine via
+// the intra-run parallel engine; -intra (or LASER_BENCH_INTRA)
+// overrides the split. The rendered output is byte-identical at any
+// parallelism, on either axis — only wall time changes.
 //
 // -cache DIR attaches a persistent run cache: every simulation result
 // is content-addressed by (workload, scale, variant, tool, SAV, seed,
@@ -22,18 +25,31 @@
 // simulate misses. -shard I/N (0 ≤ I < N, requires -cache) runs the
 // shard warming mode instead of rendering: the selected experiments'
 // work units are partitioned deterministically and only slice I is
-// simulated into the cache. Run N shards (concurrently, e.g. as a CI
-// matrix sharing the cache directory or merging cache artifacts), then
-// render with a plain `laserbench -cache DIR` — it assembles the
-// figures from cache hits alone, byte-identical to an un-sharded run,
-// and the final "runcache:" stderr line reports simulated=0.
+// simulated into the cache. -shard-partition picks the partition:
+// "cost" (default) balances the units' estimated simulation cost across
+// shards so their wall times track each other; "hash" is the historical
+// cache-key-hash split. Run N shards (concurrently, e.g. as a CI matrix
+// sharing the cache directory or merging cache artifacts), then render
+// with a plain `laserbench -cache DIR` — it assembles the figures from
+// cache hits alone, byte-identical to an un-sharded run, and the final
+// "runcache:" stderr line reports simulated=0.
 //
-// -json additionally writes machine-readable results — per-figure wall
-// time, key scalar metrics, and a serial-vs-parallel engine
-// microbenchmark with ns per simulated instruction — to FILE (CI uploads
-// BENCH_PR3.json as an artifact). -cpuprofile and -memprofile capture
-// pprof profiles of the whole run; see EXPERIMENTS.md for the profiling
-// workflow.
+// -cache-gc AGE prunes entries whose last access is older than AGE
+// (e.g. 720h) after the run; -cache-gc-bytes N additionally evicts
+// least-recently-used entries until the directory fits N bytes. Both
+// require -cache, refuse to run in shard mode (a shard must not evict
+// its siblings' fresh entries), and never evict entries this run used.
+// `laserbench -cache DIR -exp none -cache-gc 720h` prunes without
+// evaluating anything.
+//
+// -json additionally writes machine-readable results to FILE: per-figure
+// wall time annotated warm/cold with work-unit cache-hit/simulated
+// counts, key scalar metrics, and a serial-vs-parallel engine
+// microbenchmark with ns per simulated instruction (CI uploads
+// BENCH_PR3.json as an artifact). A warm figure simulated nothing — its
+// wall time measures cache assembly, not the simulator. -cpuprofile and
+// -memprofile capture pprof profiles of the whole run; see
+// EXPERIMENTS.md for the profiling workflow.
 package main
 
 import (
@@ -44,6 +60,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -56,6 +73,9 @@ func main() {
 	intra := flag.Int("intra", 0, "intra-run engine workers per simulation (0 = automatic split)")
 	cacheDir := flag.String("cache", "", "persistent run-cache directory")
 	shardSpec := flag.String("shard", "", "warm shard I/N of the selected experiments into -cache, without rendering")
+	shardPartition := flag.String("shard-partition", "cost", "shard partition mode: cost (balance estimated simulation cost) or hash (by cache key)")
+	gcAge := flag.Duration("cache-gc", 0, "evict cache entries not accessed for this long after the run (requires -cache; 0 disables)")
+	gcBytes := flag.Int64("cache-gc-bytes", 0, "then evict least-recently-used entries until the cache fits this many bytes (0 disables)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -103,6 +123,21 @@ func main() {
 		// os.Exit skips deferred calls.)
 		defer printCacheStats()
 	}
+	gcWanted := *gcAge > 0 || *gcBytes > 0
+	if gcWanted && *cacheDir == "" {
+		fail(fmt.Errorf("-cache-gc requires -cache"))
+	}
+	runGC := func() {
+		if !gcWanted {
+			return
+		}
+		st, err := experiments.CacheGC(*gcAge, *gcBytes)
+		if err != nil {
+			fail(fmt.Errorf("cache-gc: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "laserbench: cache-gc: evicted %d of %d entries (%.1f MiB reclaimed, %.1f MiB remain, %d pinned)\n",
+			st.Evicted, st.Scanned, float64(st.EvictedBytes)/(1<<20), float64(st.RemainingBytes)/(1<<20), st.Pinned)
+	}
 
 	cfg := experiments.Config{AccuracyScale: *ascale, PerfScale: *pscale, Runs: *runs}
 	bench := experiments.NewBenchReport(cfg)
@@ -111,10 +146,14 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
+	wantFn := func(e string) bool { return all || want[e] }
 
 	if *shardSpec != "" {
 		if *cacheDir == "" {
 			fail(fmt.Errorf("-shard requires -cache"))
+		}
+		if gcWanted {
+			fail(fmt.Errorf("-cache-gc must run from the assembling invocation, not a shard warm (a shard would evict its siblings' fresh entries)"))
 		}
 		// Parse strictly — Sscanf would accept trailing garbage like
 		// "1/2x" and silently warm the wrong partition.
@@ -124,18 +163,8 @@ func main() {
 		if !ok || err1 != nil || err2 != nil || n < 1 || shard < 0 || shard >= n {
 			fail(fmt.Errorf("invalid -shard %q: want I/N with 0 <= I < N", *shardSpec))
 		}
-		// The shard enumeration works in runner granularity: tab1, tab2
-		// and fig9 all derive from the accuracy measurement.
-		wantExp := func(e string) bool {
-			if all {
-				return true
-			}
-			if e == "accuracy" {
-				return want["accuracy"] || want["tab1"] || want["tab2"] || want["fig9"]
-			}
-			return want[e]
-		}
-		owned, total, err := experiments.RunShard(cfg, wantExp, shard, n, os.Stderr)
+		mode := experiments.PartitionMode(*shardPartition)
+		owned, total, err := experiments.RunShard(cfg, wantFn, shard, n, mode, os.Stderr)
 		if err != nil {
 			fail(err)
 		}
@@ -144,128 +173,28 @@ func main() {
 		return
 	}
 
-	if all || want["fig3"] {
-		err := bench.Time("fig3", func() (map[string]float64, error) {
-			_, sums, err := experiments.RunFigure3()
-			if err != nil {
-				return nil, err
-			}
-			fmt.Println(experiments.RenderFigure3(sums))
-			m := map[string]float64{}
-			for _, s := range sums {
-				m[string(s.Category)+"_addr_pct"] = 100 * s.AddrOK
-			}
-			return m, nil
-		})
-		if err != nil {
-			fail(err)
-		}
-	}
-	var acc *experiments.AccuracyResult
-	needAcc := all || want["tab1"] || want["tab2"] || want["fig9"]
-	if needAcc {
-		err := bench.Time("accuracy", func() (map[string]float64, error) {
-			var err error
-			acc, err = experiments.RunAccuracy(cfg)
-			if err != nil {
-				return nil, err
-			}
-			bugs, lfn, lfp, _, _, _, _ := acc.Totals()
-			return map[string]float64{
-				"bugs": float64(bugs), "laser_fn": float64(lfn), "laser_fp": float64(lfp),
-			}, nil
-		})
-		if err != nil {
-			fail(err)
-		}
-	}
-	if all || want["tab1"] {
-		fmt.Println(acc.RenderTable1())
-	}
-	if all || want["tab2"] {
-		fmt.Println(acc.RenderTable2())
-	}
-	if all || want["fig9"] {
-		fmt.Println(experiments.RenderFigure9(acc.Figure9()))
-	}
-	if all || want["fig10"] {
-		err := bench.Time("fig10", func() (map[string]float64, error) {
-			rows, err := experiments.RunFigure10(cfg)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Println(experiments.RenderFigure10(rows))
-			lg, vg := experiments.Geomeans(rows)
-			return map[string]float64{"laser_geomean": lg, "vtune_geomean": vg}, nil
-		})
-		if err != nil {
-			fail(err)
-		}
-	}
-	if all || want["fig11"] {
-		err := bench.Time("fig11", func() (map[string]float64, error) {
-			rows, err := experiments.RunFigure11(cfg)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Println(experiments.RenderFigure11(rows))
-			m := map[string]float64{}
-			for _, r := range rows {
-				if r.Mode == "automatic" && !r.NoRepair {
-					m["auto_"+r.Workload] = r.Speedup
+	start := time.Now()
+	// Figures stream to stdout as each experiment assembles, so a
+	// failure late in a long evaluation keeps everything rendered so
+	// far on the terminal.
+	results, err := experiments.Run(cfg, wantFn, experiments.RunOptions{
+		Progress: os.Stderr,
+		OnSpec: func(res experiments.SpecResult) {
+			bench.Record(res)
+			for _, a := range res.Rendered.Artifacts {
+				if all || want[a.Name] || want[res.Spec.Name] {
+					fmt.Println(a.Text)
 				}
 			}
-			return m, nil
-		})
-		if err != nil {
-			fail(err)
-		}
+		},
+	})
+	if err != nil {
+		fail(err)
 	}
-	if all || want["fig12"] {
-		err := bench.Time("fig12", func() (map[string]float64, error) {
-			rows, err := experiments.RunFigure12(cfg)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Println(experiments.RenderFigure12(rows))
-			return map[string]float64{"workloads_over_10pct": float64(len(rows))}, nil
-		})
-		if err != nil {
-			fail(err)
-		}
+	if len(results) > 0 {
+		fmt.Fprintf(os.Stderr, "laserbench: %d experiments in %.1fs\n", len(results), time.Since(start).Seconds())
 	}
-	if all || want["fig13"] {
-		err := bench.Time("fig13", func() (map[string]float64, error) {
-			points, err := experiments.RunFigure13(cfg)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Println(experiments.RenderFigure13(points))
-			m := map[string]float64{}
-			for _, p := range points {
-				if p.SAV == 1 || p.SAV == 19 {
-					m[fmt.Sprintf("sav%d", p.SAV)] = p.Normalized
-				}
-			}
-			return m, nil
-		})
-		if err != nil {
-			fail(err)
-		}
-	}
-	if all || want["fig14"] {
-		err := bench.Time("fig14", func() (map[string]float64, error) {
-			rows, err := experiments.RunFigure14(cfg)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Println(experiments.RenderFigure14(rows))
-			return nil, nil
-		})
-		if err != nil {
-			fail(err)
-		}
-	}
+	runGC()
 
 	if *jsonPath != "" {
 		// The engine microbenchmark: one private-heavy and one contended

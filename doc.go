@@ -50,12 +50,16 @@
 // byte-identical to the serial engine at any worker count. See
 // DESIGN.md, "The two execution engines".
 //
-// The experiment harness in internal/experiments fans independent
-// (workload, tool, seed) simulations out across all host cores and
-// memoizes the deterministic native (unmonitored) baselines by
-// (workload, scale, variant) so no figure re-simulates one. When a
-// phase has fewer runnable simulations than host workers, the leftover
-// workers move inside each machine via the intra-run engine.
+// The experiment harness in internal/experiments is a registry of
+// declarative experiment specs: each figure enumerates its cacheable
+// simulations as cost-estimated work units and assembles its artifacts
+// from a persistent content-addressed run cache (internal/runcache),
+// while a single executor fans the units out across all host cores,
+// deduplicates them across experiments, and can partition them into a
+// cost-balanced shard matrix (see DESIGN.md, "The experiment
+// registry"). When a phase has fewer runnable simulations than host
+// workers, the leftover workers move inside each machine via the
+// intra-run engine.
 // LASER_BENCH_PARALLEL selects the pool worker count (default
 // GOMAXPROCS; 1 recovers the serial harness) and LASER_BENCH_INTRA
 // overrides the intra-run split; results are assembled in index order,

@@ -53,6 +53,44 @@ type AccuracyResult struct {
 	seconds   map[string]float64
 }
 
+// accuracySpec declares the Table 1 measurement to the experiment
+// registry. One set of runs — every workload once under LASER (SAV 19),
+// once under VTune, once under Sheriff-Detect where Sheriff can run —
+// assembles three artifacts: Tables 1 and 2 and the Figure 9 threshold
+// sweep, exactly as the paper derives all three from one measurement.
+var accuracySpec = &Spec{
+	Name:      "accuracy",
+	Artifacts: []string{"tab1", "tab2", "fig9"},
+	Enumerate: func(cfg Config) []WorkUnit {
+		u := newUnitSet()
+		for _, name := range workloadNames() {
+			u.laser(name, cfg.AccuracyScale, false, laserSAV, 1)
+			u.vtune(name, cfg.AccuracyScale, 1)
+			if w, ok := workload.Get(name); ok && w.Sheriff == sheriff.OK {
+				u.sheriff(name, cfg.AccuracyScale, sheriff.Detect, false)
+			}
+		}
+		return u.units
+	},
+	Assemble: func(cfg Config) (*Rendered, error) {
+		acc, err := RunAccuracy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		bugs, lfn, lfp, _, _, _, _ := acc.Totals()
+		return &Rendered{
+			Artifacts: []Artifact{
+				{Name: "tab1", Text: acc.RenderTable1()},
+				{Name: "tab2", Text: acc.RenderTable2()},
+				{Name: "fig9", Text: RenderFigure9(acc.Figure9())},
+			},
+			Metrics: map[string]float64{
+				"bugs": float64(bugs), "laser_fn": float64(lfn), "laser_fp": float64(lfp),
+			},
+		}, nil
+	},
+}
+
 // RunAccuracy performs the Table 1 measurement: every workload once under
 // LASER (SAV 19), once under VTune, once under Sheriff-Detect. The
 // per-workload measurements are independent, so they run on the

@@ -17,11 +17,27 @@ import (
 // the performance trajectory across PRs is tracked as an artifact
 // instead of being lost in logs.
 
-// BenchFigure records one experiment's wall time and headline scalars.
+// BenchFigure records one experiment's wall time, cache accounting and
+// headline scalars. Warm marks a wall time measured against an
+// already-warm run cache — zero simulations, so the figure timed only
+// cache assembly; comparing warm and cold wall times across runs is
+// meaningless, which historically went unflagged.
 type BenchFigure struct {
-	Name        string             `json:"name"`
-	WallSeconds float64            `json:"wall_seconds"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Warm        bool    `json:"warm"`
+	// Units is the experiment's work-unit count; Simulated of them were
+	// computed this run, CacheHits served from the run cache.
+	Units     int `json:"units"`
+	Simulated int `json:"simulated"`
+	CacheHits int `json:"cache_hits"`
+	// SimulatedSeconds is the observed wall time of this run's
+	// simulations alone (0 when warm); EstCost is the cost model's
+	// estimate for all the figure's units, in model units — the pair is
+	// the per-figure calibration signal for cost.go's table.
+	SimulatedSeconds float64            `json:"simulated_seconds"`
+	EstCost          float64            `json:"est_cost"`
+	Metrics          map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchIntraRun is one single-machine engine measurement: the same
@@ -67,20 +83,23 @@ func NewBenchReport(cfg Config) *BenchReport {
 	}
 }
 
-// Time runs fn, records its wall time under name with the returned
-// scalar metrics, and passes fn's error through.
-func (r *BenchReport) Time(name string, fn func() (map[string]float64, error)) error {
-	start := time.Now()
-	metrics, err := fn()
-	if err != nil {
-		return err
+// Record appends one executed spec's result: the executor's wall time
+// and per-unit cache accounting plus the spec's headline metrics.
+func (r *BenchReport) Record(res SpecResult) {
+	fig := BenchFigure{
+		Name:             res.Spec.Name,
+		WallSeconds:      res.WallSeconds,
+		Warm:             res.Warm,
+		Units:            res.Units,
+		Simulated:        res.Simulated,
+		CacheHits:        res.CacheHits,
+		SimulatedSeconds: res.SimulatedSeconds,
+		EstCost:          res.EstCost,
 	}
-	r.Figures = append(r.Figures, BenchFigure{
-		Name:        name,
-		WallSeconds: time.Since(start).Seconds(),
-		Metrics:     metrics,
-	})
-	return nil
+	if res.Rendered != nil {
+		fig.Metrics = res.Rendered.Metrics
+	}
+	r.Figures = append(r.Figures, fig)
 }
 
 // MeasureIntraRun wall-times one native high-scale run of each named

@@ -74,18 +74,18 @@ func TestColdWarmByteIdentical(t *testing.T) {
 	}
 }
 
-// TestShardMergeEquivalence pins the sharded workflow: the work-unit
-// enumeration partitions cleanly, two shard passes (fresh in-memory
-// layers, shared directory — separate processes in CI) warm disjoint
-// slices, and the assembling run renders byte-identically to an
-// unsharded evaluation while simulating zero workloads. The zero-compute
-// assertion is also what pins the enumeration against drifting from the
-// figure runners: a missed unit would surface as a compute here.
+// TestShardMergeEquivalence pins the sharded workflow for both
+// partition modes: the work-unit enumeration partitions cleanly, two
+// shard passes (fresh in-memory layers, shared directory — separate
+// processes in CI) warm disjoint slices, and the assembling run renders
+// byte-identically to an unsharded evaluation while simulating zero
+// workloads. The zero-compute assertion is also what pins the registry
+// specs' enumerations against drifting from their runners: a missed
+// unit would surface as a compute here.
 func TestShardMergeEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-pass evaluation; skipped in the reduced-scale race run")
 	}
-	dir := t.TempDir()
 	t.Cleanup(resetCache)
 	cfg := cacheTestConfig()
 
@@ -93,47 +93,52 @@ func TestShardMergeEquivalence(t *testing.T) {
 	resetCache()
 	ref3, ref11, ref13 := captureFigures(t, cfg)
 
-	// Two shard passes over a shared directory.
-	const n = 2
-	ownedTotal := 0
-	var total int
-	for shard := 0; shard < n; shard++ {
-		resetCache()
-		if err := SetCacheDir(dir); err != nil {
-			t.Fatal(err)
-		}
-		owned, tot, err := RunShard(cfg, wantCacheTestExps, shard, n, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if owned == 0 {
-			t.Errorf("shard %d owns no work units", shard)
-		}
-		ownedTotal += owned
-		total = tot
-	}
-	if ownedTotal != total {
-		t.Errorf("shards own %d units, enumeration has %d — partition is not exact", ownedTotal, total)
-	}
+	for _, mode := range []PartitionMode{PartitionCost, PartitionHash} {
+		t.Run(string(mode), func(t *testing.T) {
+			dir := t.TempDir()
+			// Two shard passes over a shared directory.
+			const n = 2
+			ownedTotal := 0
+			var total int
+			for shard := 0; shard < n; shard++ {
+				resetCache()
+				if err := SetCacheDir(dir); err != nil {
+					t.Fatal(err)
+				}
+				owned, tot, err := RunShard(cfg, wantCacheTestExps, shard, n, mode, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if owned == 0 {
+					t.Errorf("shard %d owns no work units", shard)
+				}
+				ownedTotal += owned
+				total = tot
+			}
+			if ownedTotal != total {
+				t.Errorf("shards own %d units, enumeration has %d — partition is not exact", ownedTotal, total)
+			}
 
-	// The merge step: assemble the figures from the warmed cache.
-	resetCache()
-	if err := SetCacheDir(dir); err != nil {
-		t.Fatal(err)
-	}
-	got3, got11, got13 := captureFigures(t, cfg)
-	if st := CacheStats(); st.Computes != 0 {
-		t.Errorf("merge run simulated %d workloads, want 0 — shard enumeration drifted from the runners (stats %+v)",
-			st.Computes, st)
-	}
-	if got3 != ref3 {
-		t.Errorf("Figure 3 differs sharded vs unsharded:\n%s\nvs\n%s", ref3, got3)
-	}
-	if got11 != ref11 {
-		t.Errorf("Figure 11 differs sharded vs unsharded:\n%s\nvs\n%s", ref11, got11)
-	}
-	if got13 != ref13 {
-		t.Errorf("Figure 13 differs sharded vs unsharded:\n%s\nvs\n%s", ref13, got13)
+			// The merge step: assemble the figures from the warmed cache.
+			resetCache()
+			if err := SetCacheDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			got3, got11, got13 := captureFigures(t, cfg)
+			if st := CacheStats(); st.Computes != 0 {
+				t.Errorf("merge run simulated %d workloads, want 0 — spec enumeration drifted from the runners (stats %+v)",
+					st.Computes, st)
+			}
+			if got3 != ref3 {
+				t.Errorf("Figure 3 differs sharded vs unsharded:\n%s\nvs\n%s", ref3, got3)
+			}
+			if got11 != ref11 {
+				t.Errorf("Figure 11 differs sharded vs unsharded:\n%s\nvs\n%s", ref11, got11)
+			}
+			if got13 != ref13 {
+				t.Errorf("Figure 13 differs sharded vs unsharded:\n%s\nvs\n%s", ref13, got13)
+			}
+		})
 	}
 }
 
@@ -141,16 +146,19 @@ func TestShardMergeEquivalence(t *testing.T) {
 func TestShardRejectsBadSpec(t *testing.T) {
 	cfg := cacheTestConfig()
 	for _, tc := range []struct{ shard, n int }{{-1, 2}, {2, 2}, {0, 0}} {
-		if _, _, err := RunShard(cfg, wantCacheTestExps, tc.shard, tc.n, nil); err == nil {
+		if _, _, err := RunShard(cfg, wantCacheTestExps, tc.shard, tc.n, PartitionCost, nil); err == nil {
 			t.Errorf("RunShard(%d, %d) accepted an invalid spec", tc.shard, tc.n)
 		}
+	}
+	if _, _, err := RunShard(cfg, wantCacheTestExps, 0, 2, "fastest", nil); err == nil {
+		t.Error("RunShard accepted an unknown partition mode")
 	}
 }
 
 // TestWorkUnitsDeduplicated: figures share baselines; the enumeration
 // must hand each cache key to at most one shard exactly once.
 func TestWorkUnitsDeduplicated(t *testing.T) {
-	units := workUnits(cacheTestConfig(), func(string) bool { return true })
+	units := enumerateAll(cacheTestConfig(), func(string) bool { return true })
 	seen := map[string]bool{}
 	for _, u := range units {
 		id := u.Key.ID()

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/runcache"
+)
+
+// The executor owns the evaluation's run loop: it walks the registry in
+// print order, executes every selected spec's work units on the
+// inter-run worker pool (splitting leftover workers inside each
+// simulated machine), deduplicates units across experiments by cache
+// key, accounts per-unit cache hits versus simulations, and assembles
+// each spec's artifacts only after its units are in the cache. Shard
+// mode (RunShard) runs the same enumeration but executes only a
+// deterministic partition of it — by estimated cost (LPT) or by the
+// historical key hash — warming a shared cache directory instead of
+// rendering.
+
+// SpecResult is one executed experiment: its rendered artifacts plus
+// the executor's accounting.
+type SpecResult struct {
+	Spec     *Spec
+	Rendered *Rendered
+	// Units is how many work units the spec enumerated. Simulated of
+	// them were computed during this spec's phase; CacheHits were served
+	// from the run cache — memory, disk, or an earlier spec's phase
+	// (cross-experiment dedup).
+	Units, Simulated, CacheHits int
+	// EstCost sums the units' static cost estimates;
+	// SimulatedSeconds sums the observed wall time of the simulations
+	// this phase actually ran (0 on a fully warm cache).
+	EstCost          float64
+	SimulatedSeconds float64
+	// WallSeconds is the phase's wall time, execution plus assembly.
+	// Warm marks it as measured against an already-warm cache
+	// (Simulated == 0): it reflects cache assembly, not simulation
+	// throughput, and must not be compared against cold wall times.
+	WallSeconds float64
+	Warm        bool
+}
+
+// RunOptions tunes an executor run.
+type RunOptions struct {
+	// Progress receives one line per completed spec (nil = silent).
+	Progress io.Writer
+	// OnSpec, when non-nil, is called with each spec's result as soon
+	// as it assembles — laserbench streams rendered figures through it,
+	// so a failure (or an impatient reader) late in a long evaluation
+	// does not discard everything already rendered.
+	OnSpec func(SpecResult)
+}
+
+// selected reports whether want picks the spec, by its name or any of
+// its artifacts.
+func selected(s *Spec, want func(string) bool) bool {
+	if want(s.Name) {
+		return true
+	}
+	for _, a := range s.Artifacts {
+		if want(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the selected experiments end to end and returns their
+// results in registry (print) order. The first failing unit or assembly
+// aborts the run with the results completed so far.
+func Run(cfg Config, want func(exp string) bool, opt RunOptions) ([]SpecResult, error) {
+	executed := make(map[string]bool)
+	var out []SpecResult
+	for _, spec := range Specs() {
+		if !selected(spec, want) {
+			continue
+		}
+		start := time.Now()
+		units := spec.Enumerate(cfg)
+		var phase []WorkUnit
+		for _, u := range units {
+			if !executed[u.Key.ID()] {
+				phase = append(phase, u)
+			}
+		}
+		intra := intraRunWorkers(len(phase))
+		if err := forEach(len(phase), func(i int) error {
+			if err := phase[i].Run(intra); err != nil {
+				return fmt.Errorf("%s: unit %s: %w", spec.Name, phase[i].Label, err)
+			}
+			return nil
+		}); err != nil {
+			return out, err
+		}
+		res := SpecResult{Spec: spec, Units: len(units)}
+		phaseIDs := make(map[string]bool, len(phase))
+		for _, u := range phase {
+			phaseIDs[u.Key.ID()] = true
+		}
+		for _, u := range units {
+			id := u.Key.ID()
+			executed[id] = true
+			res.EstCost += u.Cost
+			if oc, cost, ok := cache.Lookup(u.Key); ok && oc == runcache.Computed && phaseIDs[id] {
+				res.Simulated++
+				res.SimulatedSeconds += cost
+			} else {
+				res.CacheHits++
+			}
+		}
+		rendered, err := spec.Assemble(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		res.Rendered = rendered
+		res.WallSeconds = time.Since(start).Seconds()
+		res.Warm = res.Simulated == 0
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "%s: %d work units (%d simulated, %d cached) in %.1fs\n",
+				spec.Name, res.Units, res.Simulated, res.CacheHits, res.WallSeconds)
+		}
+		if opt.OnSpec != nil {
+			opt.OnSpec(res)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PartitionMode selects the deterministic work-unit partition of a
+// shard matrix.
+type PartitionMode string
+
+// Partition modes.
+const (
+	// PartitionCost balances estimated simulation cost across shards
+	// (greedy LPT over the static cost model) so shard wall times track
+	// each other instead of whichever shard the key hash hands the
+	// accuracy-scale heavyweights to. The default.
+	PartitionCost PartitionMode = "cost"
+	// PartitionHash is the historical partition by cache-key hash:
+	// spread is uniform in unit count but oblivious to cost.
+	PartitionHash PartitionMode = "hash"
+)
+
+// partitionByCost assigns every unit an owner shard in [0, n) by
+// longest-processing-time greedy: units in descending cost order (key
+// ID breaking ties) each go to the currently lightest shard (lowest
+// index on equal load). The result is a pure function of the unit set —
+// input order cannot matter, because the sort key is total — so every
+// process enumerating the same configuration derives the same
+// partition. Greedy LPT bounds the heaviest shard by the cost mean plus
+// one maximal unit (and by 4/3 of optimal).
+func partitionByCost(units []WorkUnit, n int) []int {
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua, ub := units[order[a]], units[order[b]]
+		if ua.Cost != ub.Cost {
+			return ua.Cost > ub.Cost
+		}
+		return ua.Key.ID() < ub.Key.ID()
+	})
+	owner := make([]int, len(units))
+	load := make([]float64, n)
+	for _, idx := range order {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		owner[idx] = best
+		load[best] += units[idx].Cost
+	}
+	return owner
+}
+
+// partitionOwners assigns every unit an owner shard in [0, n) under
+// the given mode — RunShard's partition step, separated so the
+// back-compat contract (hash mode is exactly the historical Key.Shard
+// split) stays testable without simulating anything.
+func partitionOwners(units []WorkUnit, n int, mode PartitionMode) ([]int, error) {
+	switch mode {
+	case PartitionCost, "":
+		return partitionByCost(units, n), nil
+	case PartitionHash:
+		owners := make([]int, len(units))
+		for i, u := range units {
+			owners[i] = u.Key.Shard(n)
+		}
+		return owners, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown partition mode %q (want %q or %q)",
+			mode, PartitionCost, PartitionHash)
+	}
+}
+
+// enumerateAll lists the selected specs' work units in registry order,
+// deduplicated across experiments by cache key — the exact unit set the
+// executor would run, which is what a shard matrix partitions.
+func enumerateAll(cfg Config, want func(exp string) bool) []WorkUnit {
+	seen := make(map[string]bool)
+	var units []WorkUnit
+	for _, spec := range Specs() {
+		if !selected(spec, want) {
+			continue
+		}
+		for _, u := range spec.Enumerate(cfg) {
+			if id := u.Key.ID(); !seen[id] {
+				seen[id] = true
+				units = append(units, u)
+			}
+		}
+	}
+	return units
+}
+
+// RunShard executes the shard'th of n deterministic slices of the
+// selected experiments' work units on the experiment pool, warming the
+// attached cache. It returns how many units this shard owns out of the
+// enumerated total. Progress and the estimated/observed cost summary
+// (the cost-model calibration signal) go to w when non-nil.
+func RunShard(cfg Config, want func(exp string) bool, shard, n int, mode PartitionMode, w io.Writer) (owned, total int, err error) {
+	if n < 1 || shard < 0 || shard >= n {
+		return 0, 0, fmt.Errorf("experiments: shard %d/%d out of range", shard, n)
+	}
+	units := enumerateAll(cfg, want)
+	owners, err := partitionOwners(units, n, mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	var mine []WorkUnit
+	var mineCost, allCost float64
+	for i, u := range units {
+		allCost += u.Cost
+		if owners[i] == shard {
+			mine = append(mine, u)
+			mineCost += u.Cost
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "shard %d/%d owns %d of %d work units (%s partition, est cost %.1f of %.1f)\n",
+			shard, n, len(mine), len(units), modeName(mode), mineCost, allCost)
+	}
+	intra := intraRunWorkers(len(mine))
+	err = forEach(len(mine), func(i int) error {
+		if err := mine[i].Run(intra); err != nil {
+			return fmt.Errorf("shard unit %s: %w", mine[i].Label, err)
+		}
+		return nil
+	})
+	if w != nil && err == nil && mineCost > 0 {
+		var observed float64
+		for _, u := range mine {
+			if oc, cost, ok := cache.Lookup(u.Key); ok && oc == runcache.Computed {
+				observed += cost
+			}
+		}
+		// A warm re-run (every unit a cache hit) observed nothing; a zero
+		// ratio would pollute the calibration signal, so skip the line.
+		if observed > 0 {
+			fmt.Fprintf(w, "shard %d/%d simulated %.1fs wall for est cost %.1f (calibration ratio %.3g s/unit)\n",
+				shard, n, observed, mineCost, observed/mineCost)
+		}
+	}
+	return len(mine), len(units), err
+}
+
+func modeName(mode PartitionMode) PartitionMode {
+	if mode == "" {
+		return PartitionCost
+	}
+	return mode
+}

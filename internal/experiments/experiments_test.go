@@ -299,6 +299,7 @@ func TestFigure11RenderSeedAccounting(t *testing.T) {
 		{Workload: "some", Mode: "automatic", Speedup: 1.4, Repaired: 2, Seeds: 3},
 		{Workload: "none", Mode: "automatic", NoRepair: true, Seeds: 3},
 		{Workload: "manual", Mode: "manual", Speedup: 6.5},
+		{Workload: "nofix", Mode: "manual", Speedup: 1.0002, NoBenefit: true},
 	}
 	text := RenderFigure11(rows)
 	for _, want := range []string{
@@ -306,6 +307,7 @@ func TestFigure11RenderSeedAccounting(t *testing.T) {
 		"1.40x (2/3 seeds repaired)",
 		"repair did not trigger at this scale",
 		"6.50x",
+		"fix did not beat native at this scale",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("render missing %q:\n%s", want, text)

@@ -117,15 +117,49 @@ func buildCharCase(cat CharCategory, variant int) (*isa.Program, []machine.Threa
 }
 
 // charVariants is the per-category case count of the Figure 3
-// characterization; the shard work-unit enumeration reads the same
-// constant.
+// characterization.
 const charVariants = 40
+
+// charCategories lists the quadrants in evaluation order; the runner
+// and the spec's work-unit enumeration iterate the same slice.
+var charCategories = []CharCategory{TSRW, FSRW, TSWW, FSWW}
+
+// fig3Spec declares Figure 3 to the experiment registry: 160
+// characterization cases, assembled into the accuracy-by-category
+// table.
+var fig3Spec = &Spec{
+	Name:      "fig3",
+	Artifacts: []string{"fig3"},
+	Enumerate: func(Config) []WorkUnit {
+		u := newUnitSet()
+		for _, cat := range charCategories {
+			for variant := 0; variant < charVariants; variant++ {
+				u.char(cat, variant)
+			}
+		}
+		return u.units
+	},
+	Assemble: func(Config) (*Rendered, error) {
+		_, sums, err := RunFigure3()
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[string]float64, len(sums))
+		for _, s := range sums {
+			m[string(s.Category)+"_addr_pct"] = 100 * s.AddrOK
+		}
+		return &Rendered{
+			Artifacts: []Artifact{{Name: "fig3", Text: RenderFigure3(sums)}},
+			Metrics:   m,
+		}, nil
+	},
+}
 
 // RunFigure3 executes the 160 test cases and returns per-case data plus
 // per-category summaries. The cases are independent two-thread machines
 // and run concurrently on the experiment pool.
 func RunFigure3() ([]CharCase, []CharSummary, error) {
-	cats := []CharCategory{TSRW, FSRW, TSWW, FSWW}
+	cats := charCategories
 	const variants = charVariants
 	cases := make([]CharCase, len(cats)*variants)
 	err := forEach(len(cases), func(i int) error {
@@ -141,7 +175,7 @@ func RunFigure3() ([]CharCase, []CharSummary, error) {
 		return nil, nil, err
 	}
 	var sums []CharSummary
-	for _, cat := range []CharCategory{TSRW, FSRW, TSWW, FSWW} {
+	for _, cat := range charCategories {
 		s := CharSummary{Category: cat}
 		for _, c := range cases {
 			if c.Category != cat {

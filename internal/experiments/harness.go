@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/baseline/sheriff"
 	"repro/internal/baseline/vtune"
@@ -132,6 +133,14 @@ func SetCacheDir(dir string) error {
 // served from memory or disk.
 func CacheStats() runcache.Stats { return cache.Stats() }
 
+// CacheGC prunes the attached persistent cache directory by last access
+// (see runcache.Store.GC); without an attached directory it is a no-op.
+// Entries the current process has already served are never evicted, so
+// an evaluation can GC its own cache after assembling.
+func CacheGC(maxAge time.Duration, maxBytes int64) (runcache.GCStats, error) {
+	return cache.GC(maxAge, maxBytes)
+}
+
 // resetCache drops all cached runs (tests use it to force
 // re-simulation between equivalence captures).
 func resetCache() { cache = runcache.NewMemory() }
@@ -229,28 +238,6 @@ func forEach(n int, fn func(i int) error) error {
 	return nil
 }
 
-// pollInterval returns the detector poll cadence for a run at the given
-// workload scale. The paper's cadence (laser.DefaultConfig's 2M cycles)
-// assumes full-length runs; the evaluation's scale knob shrinks runs
-// proportionally, so a fixed cadence at low scale can exceed the whole
-// run — the session then completes without a single §4.4 trigger check
-// and Figure 11's automatic rows can never repair, regardless of how
-// much false-sharing evidence accumulated (the historical "repair did
-// not trigger at this scale" defect below PerfScale≈0.5). Scaling the
-// cadence with the workload keeps the number of trigger checks per run
-// constant across scales; at scale ≥ 1 it is exactly the paper's value,
-// so full-fidelity output is unchanged.
-func pollInterval(base uint64, scale float64) uint64 {
-	if scale >= 1 {
-		return base
-	}
-	iv := uint64(float64(base) * scale)
-	if iv < 1 {
-		iv = 1
-	}
-	return iv
-}
-
 // laserRun is the cached result of one full-stack LASER run: everything
 // the figures and tables consume, in a serializable shape. The detector
 // state is retained as a core.PipeState snapshot, so the exit report —
@@ -295,7 +282,9 @@ func laserKey(name string, scale float64, repairOn bool, sav int, seed int64) (r
 		cfg.PEBS.SAV = sav
 	}
 	cfg.PEBS.Seed = seed
-	cfg.PollInterval = pollInterval(cfg.PollInterval, scale)
+	// The scale-aware trigger cadence (the PR 4 Figure 11 fix) now lives
+	// in the laser package itself, shared with raw Attach users.
+	cfg.PollInterval = laser.AutoPollInterval(cfg.PollInterval, scale)
 	cfg.EnableRepair = repairOn
 	cfg.MaxEpochs = 1
 	return runcache.Key{

@@ -16,6 +16,36 @@ type Fig10Row struct {
 	VTune    float64
 }
 
+// fig10Spec declares the monitoring-overhead comparison: per workload,
+// one native baseline plus Runs seeded LASER (repair on) and VTune
+// runs.
+var fig10Spec = &Spec{
+	Name:      "fig10",
+	Artifacts: []string{"fig10"},
+	Enumerate: func(cfg Config) []WorkUnit {
+		u := newUnitSet()
+		for _, name := range workloadNames() {
+			u.native(name, cfg.PerfScale, workload.Native)
+			for seed := 1; seed <= runsOf(cfg); seed++ {
+				u.laser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+				u.vtune(name, cfg.PerfScale, int64(seed))
+			}
+		}
+		return u.units
+	},
+	Assemble: func(cfg Config) (*Rendered, error) {
+		rows, err := RunFigure10(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lg, vg := Geomeans(rows)
+		return &Rendered{
+			Artifacts: []Artifact{{Name: "fig10", Text: RenderFigure10(rows)}},
+			Metrics:   map[string]float64{"laser_geomean": lg, "vtune_geomean": vg},
+		}, nil
+	},
+}
+
 // RunFigure10 measures the monitoring overhead of LASER (SAV 19, repair
 // on) and VTune against native execution for all 35 workloads. Workloads
 // run concurrently on the experiment pool; the shared native baseline per
@@ -91,6 +121,51 @@ type Fig11Row struct {
 	// at this scale, and a speedup of runs that never repaired would be
 	// meaningless.
 	NoRepair bool
+	// NoBenefit marks manual rows whose Fixed build did not measurably
+	// beat the native build — dedup's and reverse_index's fixes never
+	// do in this reproduction (speedups ≈1.0002–1.0005 at every scale;
+	// see ROADMAP), so a bare "1.00x" would misread as a measured null
+	// result when the evidence is insufficient, the same failure mode
+	// the automatic rows' marker exists for.
+	NoBenefit bool
+}
+
+// fig11Spec declares the repair-speedup measurement: native baselines
+// plus seeded repair-on LASER runs for the automatic bars, and Fixed
+// builds for the manual bars.
+var fig11Spec = &Spec{
+	Name:      "fig11",
+	Artifacts: []string{"fig11"},
+	Enumerate: func(cfg Config) []WorkUnit {
+		u := newUnitSet()
+		for _, name := range fig11AutoSet {
+			u.native(name, cfg.PerfScale, workload.Native)
+			for seed := 1; seed <= runsOf(cfg); seed++ {
+				u.laser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+			}
+		}
+		for _, name := range fig11ManualSet {
+			u.native(name, cfg.PerfScale, workload.Native)
+			u.native(name, cfg.PerfScale, workload.Fixed)
+		}
+		return u.units
+	},
+	Assemble: func(cfg Config) (*Rendered, error) {
+		rows, err := RunFigure11(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[string]float64)
+		for _, r := range rows {
+			if r.Mode == "automatic" && !r.NoRepair {
+				m["auto_"+r.Workload] = r.Speedup
+			}
+		}
+		return &Rendered{
+			Artifacts: []Artifact{{Name: "fig11", Text: RenderFigure11(rows)}},
+			Metrics:   m,
+		}, nil
+	},
 }
 
 // RunFigure11 measures the automatic (online repair) and manual (source
@@ -126,7 +201,15 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 		if err != nil {
 			return fmt.Errorf("fig11 manual %s: %w", name, err)
 		}
-		rows[i] = Fig11Row{Workload: name, Mode: "manual", Speedup: 1 / norm}
+		row := Fig11Row{Workload: name, Mode: "manual", Speedup: 1 / norm}
+		// A fix that cannot beat the native build at this scale (dedup's
+		// I/O-paced pipeline, reverse_index's allocation-site fix) is
+		// insufficient evidence, not a measured null result: a row whose
+		// speedup would render as a bare 1.00x gets the explicit marker,
+		// like the automatic rows mark an untriggered repair. A genuine
+		// measured slowdown (≤0.99x) still renders its number.
+		row.NoBenefit = row.Speedup >= 0.995 && row.Speedup < 1.005
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -136,8 +219,7 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 }
 
 // fig11AutoSet and fig11ManualSet are Figure 11's benchmark lists
-// (§7.2); the shard work-unit enumeration reads the same slices, so the
-// two cannot drift.
+// (§7.2); the runner and the spec's enumeration read the same slices.
 var (
 	fig11AutoSet   = []string{"histogram'", "linear_regression"}
 	fig11ManualSet = []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"}
@@ -192,7 +274,10 @@ func fig11AutoRow(cfg Config, name string, intra int) (Fig11Row, error) {
 // RenderFigure11 formats the speedups. Automatic bars where only some
 // seeds repaired are annotated with the repaired/total seed count — the
 // speedup aggregates the repaired runs only; fully-repaired bars render
-// as a plain speedup.
+// as a plain speedup. Evidence-insufficient rows of either mode render
+// an explicit marker instead of a misleading number: automatic rows
+// when no seed crossed the repair trigger, manual rows when the fixed
+// build could not beat native at this scale.
 func RenderFigure11(rows []Fig11Row) string {
 	t := texttab.New("Figure 11: speedups from LaserRepair (automatic) and source fixes (manual)",
 		"benchmark", "mode", "speedup")
@@ -203,6 +288,9 @@ func RenderFigure11(rows []Fig11Row) string {
 		}
 		if r.NoRepair {
 			cell = "repair did not trigger at this scale"
+		}
+		if r.NoBenefit {
+			cell = "fix did not beat native at this scale"
 		}
 		t.Row(r.Workload, r.Mode, cell)
 	}
@@ -215,6 +303,31 @@ type Fig12Row struct {
 	Overhead    float64 // normalized runtime under LASER
 	DriverPct   float64 // driver cycles / application CPU time
 	DetectorPct float64
+}
+
+// fig12Spec declares the component-breakdown measurement: per workload,
+// one detection-only LASER run against the shared native baseline.
+var fig12Spec = &Spec{
+	Name:      "fig12",
+	Artifacts: []string{"fig12"},
+	Enumerate: func(cfg Config) []WorkUnit {
+		u := newUnitSet()
+		for _, name := range workloadNames() {
+			u.laser(name, cfg.PerfScale, false, laserSAV, 1)
+			u.native(name, cfg.PerfScale, workload.Native)
+		}
+		return u.units
+	},
+	Assemble: func(cfg Config) (*Rendered, error) {
+		rows, err := RunFigure12(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Rendered{
+			Artifacts: []Artifact{{Name: "fig12", Text: RenderFigure12(rows)}},
+			Metrics:   map[string]float64{"workloads_over_10pct": float64(len(rows))},
+		}, nil
+	},
 }
 
 // RunFigure12 reports the driver/detector CPU shares for benchmarks whose
@@ -282,9 +395,42 @@ type Fig13Point struct {
 	Normalized float64
 }
 
-// fig13SAVs is the Figure 13 sample-after sweep; the shard work-unit
-// enumeration reads the same slice.
+// fig13SAVs is the Figure 13 sample-after sweep; the runner and the
+// spec's enumeration read the same slice.
 var fig13SAVs = []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+
+// fig13Spec declares the dedup SAV sweep: one native baseline plus
+// seeded detection-only LASER runs per sample-after value.
+var fig13Spec = &Spec{
+	Name:      "fig13",
+	Artifacts: []string{"fig13"},
+	Enumerate: func(cfg Config) []WorkUnit {
+		u := newUnitSet()
+		u.native("dedup", cfg.PerfScale, workload.Native)
+		for _, sav := range fig13SAVs {
+			for seed := 1; seed <= runsOf(cfg); seed++ {
+				u.laser("dedup", cfg.PerfScale, false, sav, int64(seed))
+			}
+		}
+		return u.units
+	},
+	Assemble: func(cfg Config) (*Rendered, error) {
+		points, err := RunFigure13(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[string]float64)
+		for _, p := range points {
+			if p.SAV == 1 || p.SAV == 19 {
+				m[fmt.Sprintf("sav%d", p.SAV)] = p.Normalized
+			}
+		}
+		return &Rendered{
+			Artifacts: []Artifact{{Name: "fig13", Text: RenderFigure13(points)}},
+			Metrics:   m,
+		}, nil
+	},
+}
 
 // RunFigure13 sweeps the sample-after value on dedup (§7.2.1, Figure 13).
 // The sweep points run concurrently against one memoized dedup baseline.
@@ -332,9 +478,46 @@ var fig14Set = []string{
 	"swaptions", "water_nsquared", "water_spatial",
 }
 
+// fig14Spec declares the Sheriff comparison: LASER repair runs, manual
+// fixes where they exist, and both Sheriff modes at their per-workload
+// scales.
+var fig14Spec = &Spec{
+	Name:      "fig14",
+	Artifacts: []string{"fig14"},
+	Enumerate: func(cfg Config) []WorkUnit {
+		u := newUnitSet()
+		for _, name := range fig14Set {
+			w, _ := workload.Get(name)
+			u.native(name, cfg.PerfScale, workload.Native)
+			for seed := 1; seed <= runsOf(cfg); seed++ {
+				u.laser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+			}
+			if w.HasFix {
+				u.native(name, cfg.PerfScale, workload.Fixed)
+			}
+			scale, force := fig14SheriffScale(w, cfg.PerfScale)
+			if w.Sheriff == sheriff.OK || force {
+				u.native(name, scale, workload.Native)
+				u.sheriff(name, scale, sheriff.Detect, force)
+				u.sheriff(name, scale, sheriff.Protect, force)
+			}
+		}
+		return u.units
+	},
+	Assemble: func(cfg Config) (*Rendered, error) {
+		rows, err := RunFigure14(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Rendered{
+			Artifacts: []Artifact{{Name: "fig14", Text: RenderFigure14(rows)}},
+		}, nil
+	},
+}
+
 // fig14SheriffScale returns the workload scale and force flag of a
 // Figure 14 Sheriff run: simlarge-gated workloads run forced at half
-// scale. RunFigure14 and the shard work-unit enumeration share it.
+// scale. RunFigure14 and fig14Spec's enumeration share it.
 func fig14SheriffScale(w *workload.Workload, perfScale float64) (scale float64, force bool) {
 	force = w.SheriffSmallOK
 	scale = perfScale

@@ -28,8 +28,11 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Key identifies one deterministic simulation. Every field participates
@@ -119,6 +122,38 @@ type entry struct {
 	once sync.Once
 	val  any
 	err  error
+	// outcome records how this process first served the key; cost is the
+	// observed simulation wall time in seconds — measured when the entry
+	// was computed here, or decoded from the persisted entry's metadata
+	// on a disk hit. Both are written once inside once.Do and guarded by
+	// the store mutex: Lookup may race the first Do (the documented
+	// in-flight case) and must not tear a read.
+	outcome Outcome
+	cost    float64
+}
+
+// Outcome describes how a store first served a key in this process.
+type Outcome uint8
+
+// Outcomes of the first Do for a key.
+const (
+	// None: the key has not been requested.
+	None Outcome = iota
+	// Computed: the simulation actually ran (a miss on both layers).
+	Computed
+	// DiskHit: the persisted entry was decoded.
+	DiskHit
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Computed:
+		return "computed"
+	case DiskHit:
+		return "disk-hit"
+	default:
+		return "none"
+	}
 }
 
 // NewMemory returns a store with no disk layer: pure in-process
@@ -170,18 +205,27 @@ func Do[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 	}
 	s.mu.Unlock()
 
+	setServed := func(outcome Outcome, cost float64) {
+		s.mu.Lock()
+		e.outcome, e.cost = outcome, cost
+		s.mu.Unlock()
+	}
 	computed := false
 	e.once.Do(func() {
 		computed = true
-		if s.loadDisk(id, key, &zero) {
+		if cost, ok := s.loadDisk(id, key, &zero); ok {
 			e.val = zero
+			setServed(DiskHit, cost)
 			return
 		}
+		start := time.Now()
 		val, err := compute()
 		s.computes.Add(1)
 		e.val, e.err = val, err
+		cost := time.Since(start).Seconds()
+		setServed(Computed, cost)
 		if err == nil {
-			s.saveDisk(id, key, val)
+			s.saveDisk(id, key, val, cost)
 		}
 	})
 	if !computed {
@@ -199,26 +243,54 @@ func Do[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 	return v, nil
 }
 
-// Entry file layout (version 1):
+// Lookup reports how this process first served key — simulated
+// (Computed) or decoded from the disk layer (DiskHit) — plus the
+// observed simulation cost in seconds: the wall time of the compute when
+// it ran here, or the cost persisted in the entry's metadata on a disk
+// hit. ok is false while the key has not been requested (or its first
+// request is still in flight). The executor's per-unit hit/miss
+// accounting and the cost-model calibration report both read it.
+func (s *Store) Lookup(key Key) (outcome Outcome, cost float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.mem[key.ID()]
+	if e == nil || e.outcome == None {
+		return None, 0, false
+	}
+	return e.outcome, e.cost, true
+}
+
+// Entry file layout (version 2; v1 entries fail the magic check, count
+// as corrupt and are recomputed — the cost metadata line is new):
 //
-//	laser-runcache v1\n
+//	laser-runcache v2\n
 //	<canonical key>\n
+//	cost=<observed compute seconds>\n
 //	<hex sha256 of payload>\n
 //	<gob payload>
-const fileMagic = "laser-runcache v1"
+//
+// A persisted entry's mtime doubles as its last-access time: every disk
+// hit re-touches the file, so Store.GC can age out entries that no
+// evaluation has read in a long time without a separate index.
+const fileMagic = "laser-runcache v2"
+
+// costPrefix introduces the observed-cost metadata line.
+const costPrefix = "cost="
 
 func (s *Store) path(id string) string {
 	return filepath.Join(s.dir, id[:2], id+".lrc")
 }
 
-// loadDisk decodes the persisted entry for id into dst (a *T). A
-// missing file is a plain miss; anything malformed — bad magic, wrong
-// key, checksum mismatch, truncation, undecodable payload — counts as
-// corrupt, removes the file, and reports a miss so the entry is
-// recomputed.
-func (s *Store) loadDisk(id string, key Key, dst any) bool {
+// loadDisk decodes the persisted entry for id into dst (a *T) and
+// returns its observed-cost metadata. A missing file is a plain miss;
+// anything malformed — bad magic (including v1 entries), wrong key,
+// unparsable cost line, checksum mismatch, truncation, undecodable
+// payload — counts as corrupt, removes the file, and reports a miss so
+// the entry is recomputed. A successful hit re-touches the file's mtime,
+// maintaining the last-access time GC evicts by.
+func (s *Store) loadDisk(id string, key Key, dst any) (float64, bool) {
 	if s.dir == "" {
-		return false
+		return 0, false
 	}
 	path := s.path(id)
 	data, err := os.ReadFile(path)
@@ -227,35 +299,48 @@ func (s *Store) loadDisk(id string, key Key, dst any) bool {
 		// miss: only content that fails validation below is treated as
 		// corrupt and removed — a healthy entry another process paid to
 		// compute must never be deleted over a transient error.
-		return false
+		return 0, false
 	}
 	rest, ok := cutHeaderLine(data, fileMagic)
 	if !ok {
 		s.dropCorrupt(path)
-		return false
+		return 0, false
 	}
 	rest, ok = cutHeaderLine(rest, key.canonical())
 	if !ok {
 		s.dropCorrupt(path)
-		return false
+		return 0, false
+	}
+	var costLine string
+	costLine, rest, ok = splitLine(rest)
+	if !ok || !strings.HasPrefix(costLine, costPrefix) {
+		s.dropCorrupt(path)
+		return 0, false
+	}
+	cost, err := strconv.ParseFloat(costLine[len(costPrefix):], 64)
+	if err != nil || cost < 0 {
+		s.dropCorrupt(path)
+		return 0, false
 	}
 	var sumHex string
 	sumHex, rest, ok = splitLine(rest)
 	if !ok {
 		s.dropCorrupt(path)
-		return false
+		return 0, false
 	}
 	sum := sha256.Sum256(rest)
 	if hex.EncodeToString(sum[:]) != sumHex {
 		s.dropCorrupt(path)
-		return false
+		return 0, false
 	}
 	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(dst); err != nil {
 		s.dropCorrupt(path)
-		return false
+		return 0, false
 	}
 	s.diskHits.Add(1)
-	return true
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort last-access for GC
+	return cost, true
 }
 
 func (s *Store) dropCorrupt(path string) {
@@ -266,8 +351,9 @@ func (s *Store) dropCorrupt(path string) {
 // saveDisk persists val for id atomically: the entry is staged in a
 // temp file in the destination directory and renamed into place, so
 // readers (and concurrent writers in other shard processes) only ever
-// see complete entries.
-func (s *Store) saveDisk(id string, key Key, val any) {
+// see complete entries. cost is the observed compute wall time in
+// seconds, stored as entry metadata.
+func (s *Store) saveDisk(id string, key Key, val any, cost float64) {
 	if s.dir == "" {
 		return
 	}
@@ -292,7 +378,8 @@ func (s *Store) saveDisk(id string, key Key, val any) {
 	// a shared cache directory (the documented shard workflow).
 	err = tmp.Chmod(0o644)
 	if err == nil {
-		_, err = fmt.Fprintf(tmp, "%s\n%s\n%s\n", fileMagic, key.canonical(), hex.EncodeToString(sum[:]))
+		_, err = fmt.Fprintf(tmp, "%s\n%s\n%s%s\n%s\n", fileMagic, key.canonical(),
+			costPrefix, strconv.FormatFloat(cost, 'g', -1, 64), hex.EncodeToString(sum[:]))
 	}
 	if err == nil {
 		_, err = tmp.Write(payload.Bytes())

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 type payload struct {
@@ -358,5 +359,216 @@ func TestCodeVersionOverride(t *testing.T) {
 	t.Setenv("LASER_RUNCACHE_VERSION", "")
 	if v := resolveVersion(); v == "" {
 		t.Error("empty fallback version")
+	}
+}
+
+// Lookup: per-key outcome and observed-cost metadata, round-tripped
+// through the persisted entry.
+func TestLookupOutcomeAndCost(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s1.Lookup(testKey(1)); ok {
+		t.Error("unrequested key reports an outcome")
+	}
+	if _, err := Do(s1, testKey(1), func() (*payload, error) {
+		time.Sleep(20 * time.Millisecond)
+		return testPayload(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	oc, cost, ok := s1.Lookup(testKey(1))
+	if !ok || oc != Computed {
+		t.Fatalf("computed key: outcome %v ok=%v", oc, ok)
+	}
+	if cost < 0.015 {
+		t.Errorf("observed cost %.4fs, want >= the compute's 20ms", cost)
+	}
+
+	// A fresh store over the same dir serves the entry from disk and
+	// reads the persisted cost back.
+	s2, _ := Open(dir)
+	if _, err := Do(s2, testKey(1), func() (*payload, error) {
+		t.Fatal("computed despite persisted entry")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	oc2, cost2, ok := s2.Lookup(testKey(1))
+	if !ok || oc2 != DiskHit {
+		t.Fatalf("persisted key: outcome %v ok=%v", oc2, ok)
+	}
+	if cost2 != cost {
+		t.Errorf("persisted cost %.6f differs from observed %.6f", cost2, cost)
+	}
+}
+
+// backdate rewrites an entry file's times, simulating an old last
+// access.
+func backdate(t *testing.T, path string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCAgeRule(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 2; k++ {
+		if _, err := Do(s1, testKey(k), func() (*payload, error) { return testPayload(), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age out key 2 only; key 1 stays fresh.
+	backdate(t, s1.path(testKey(2).ID()), 48*time.Hour)
+
+	gcer, _ := Open(dir) // a separate process doing maintenance
+	st, err := gcer.GC(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 2 || st.Evicted != 1 || st.Pinned != 0 {
+		t.Errorf("GC stats = %+v, want scanned=2 evicted=1", st)
+	}
+	cold, _ := Open(dir)
+	if _, err := Do(cold, testKey(1), func() (*payload, error) {
+		t.Error("fresh entry was evicted by the age rule")
+		return testPayload(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recomputed := false
+	if _, err := Do(cold, testKey(2), func() (*payload, error) {
+		recomputed = true
+		return testPayload(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("aged entry survived GC")
+	}
+}
+
+// A disk hit refreshes the entry's last access, so entries a long-lived
+// evaluation keeps reading stay young however old their compute is.
+func TestGCDiskHitRefreshesLastAccess(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir)
+	if _, err := Do(s1, testKey(1), func() (*payload, error) { return testPayload(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, s1.path(testKey(1).ID()), 48*time.Hour)
+	s2, _ := Open(dir)
+	if _, err := Do(s2, testKey(1), func() (*payload, error) {
+		t.Fatal("computed despite persisted entry")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gcer, _ := Open(dir)
+	st, err := gcer.GC(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 0 {
+		t.Errorf("GC evicted a just-read entry: %+v", st)
+	}
+}
+
+func TestGCSizeRuleEvictsLRUFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[int64]int64)
+	for k := int64(1); k <= 5; k++ {
+		if _, err := Do(s, testKey(k), func() (*payload, error) { return testPayload(), nil }); err != nil {
+			t.Fatal(err)
+		}
+		path := s.path(testKey(k).ID())
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[k] = info.Size()
+		// Strictly older access for lower k: key 1 is the LRU victim.
+		backdate(t, path, time.Duration(10-k)*time.Hour)
+	}
+
+	// Budget for exactly the three youngest entries: 1 and 2 must go.
+	budget := sizes[3] + sizes[4] + sizes[5]
+	gcer, _ := Open(dir)
+	st, err := gcer.GC(0, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 2 || st.RemainingBytes != budget {
+		t.Errorf("GC stats = %+v, want 2 evicted and %d bytes remaining", st, budget)
+	}
+	for k := int64(1); k <= 5; k++ {
+		_, statErr := os.Stat(s.path(testKey(k).ID()))
+		gone := statErr != nil
+		if wantGone := k <= 2; gone != wantGone {
+			t.Errorf("key %d: evicted=%v, want %v (LRU order)", k, gone, wantGone)
+		}
+	}
+}
+
+// Entries the running process has already served are never evicted, no
+// matter how stale or oversized the directory: a mid-run GC cannot pull
+// results out from under the evaluation that is using them.
+func TestGCNeverEvictsInUseEntries(t *testing.T) {
+	dir := t.TempDir()
+	writer, _ := Open(dir)
+	for k := int64(1); k <= 3; k++ {
+		if _, err := Do(writer, testKey(k), func() (*payload, error) { return testPayload(), nil }); err != nil {
+			t.Fatal(err)
+		}
+		backdate(t, writer.path(testKey(k).ID()), 48*time.Hour)
+	}
+
+	// The evaluation process: has served keys 1 and 2 (one computed
+	// in an earlier run and disk-hit now, the distinction must not
+	// matter), then GCs its own directory mid-run.
+	eval, _ := Open(dir)
+	for k := int64(1); k <= 2; k++ {
+		if _, err := Do(eval, testKey(k), func() (*payload, error) { return testPayload(), nil }); err != nil {
+			t.Fatal(err)
+		}
+		backdate(t, eval.path(testKey(k).ID()), 48*time.Hour)
+	}
+	st, err := eval.GC(time.Nanosecond, 1) // both rules maximally aggressive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 1 {
+		t.Errorf("GC evicted %d entries, want only the unused key 3 (%+v)", st.Evicted, st)
+	}
+	// Both rules wanted both in-use entries; Pinned counts entries, not
+	// rule hits.
+	if st.Pinned != 2 {
+		t.Errorf("GC pinned %d, want exactly the 2 in-use entries (%+v)", st.Pinned, st)
+	}
+	for k := int64(1); k <= 2; k++ {
+		if _, err := os.Stat(eval.path(testKey(k).ID())); err != nil {
+			t.Errorf("in-use key %d was evicted: %v", k, err)
+		}
+	}
+}
+
+// GC on a memory-only store is a no-op, not an error.
+func TestGCMemoryOnly(t *testing.T) {
+	s := NewMemory()
+	st, err := s.GC(time.Hour, 1)
+	if err != nil || st.Scanned != 0 || st.Evicted != 0 {
+		t.Errorf("memory-only GC: %+v, %v", st, err)
 	}
 }

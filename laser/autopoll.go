@@ -1,0 +1,42 @@
+package laser
+
+import "fmt"
+
+// AutoPollInterval returns the detector poll cadence for a run whose
+// workload is scaled to the given fraction of its full-length input.
+// The paper's cadence (DefaultConfig's 2M cycles) assumes full-length
+// runs; a scaled-down workload can finish inside a single fixed-cadence
+// poll, in which case the session completes without one §4.4
+// repair-trigger check regardless of how much false-sharing evidence
+// accumulated — the historical "repair did not trigger at this scale"
+// defect. Scaling the cadence with the workload keeps the number of
+// trigger checks per run constant across scales; at scale >= 1 it is
+// exactly the base cadence, so full-fidelity runs are unchanged.
+func AutoPollInterval(base uint64, scale float64) uint64 {
+	if scale >= 1 {
+		return base
+	}
+	iv := uint64(float64(base) * scale)
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
+}
+
+// WithAutoPollInterval derives the session's poll cadence from the
+// workload scale instead of taking a fixed cycle count: the configured
+// base interval (DefaultConfig's, or WithConfig's) is scaled by
+// AutoPollInterval when the session attaches. Raw Attach users running
+// scaled-down images get the same scale-aware trigger cadence the
+// evaluation harness uses, without reimplementing it. The option
+// conflicts with an explicit WithPollInterval — asking for both is
+// reported as an error at Attach rather than silently picking one.
+func WithAutoPollInterval(scale float64) Option {
+	return func(s *settings) error {
+		if scale <= 0 {
+			return fmt.Errorf("WithAutoPollInterval: scale must be positive, got %g", scale)
+		}
+		s.autoPollScale = scale
+		return nil
+	}
+}

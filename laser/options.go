@@ -12,7 +12,28 @@ type settings struct {
 	// repair, as the paper's exit report does.
 	monitorAfterRepair bool
 	observers          []func(Event)
+	// pollSource records where the cadence came from, which decides what
+	// Attach may derive on top of it (see resolvePollInterval).
+	pollSource pollSource
+	// autoPollScale > 0 asks Attach to derive the cadence from the
+	// workload scale (WithAutoPollInterval).
+	autoPollScale float64
 }
+
+// pollSource says how the session's poll cadence was configured.
+type pollSource uint8
+
+const (
+	// pollDefault: nobody chose a cadence; Attach may derive one for
+	// bounded runs.
+	pollDefault pollSource = iota
+	// pollFromConfig: WithConfig carried a non-zero PollInterval — used
+	// as given, and as the base for WithAutoPollInterval's scaling.
+	pollFromConfig
+	// pollExplicit: WithPollInterval named an exact cadence; nothing is
+	// derived on top, and WithAutoPollInterval conflicts.
+	pollExplicit
+)
 
 // Option customizes a Session at Attach time. Options validate their
 // arguments: Attach reports the first invalid one instead of silently
@@ -21,9 +42,17 @@ type Option func(*settings) error
 
 // WithConfig replaces the whole component configuration, for callers
 // migrating from the legacy Config struct. Later options apply on top.
+// A non-zero PollInterval is used as given (and as the base cadence
+// for WithAutoPollInterval); a zero one takes the default cadence and
+// remains eligible for Attach's bounded-run derivation.
 func WithConfig(cfg Config) Option {
 	return func(s *settings) error {
 		s.cfg = cfg
+		if cfg.PollInterval != 0 {
+			s.pollSource = pollFromConfig
+		} else {
+			s.pollSource = pollDefault
+		}
 		return nil
 	}
 }
@@ -48,13 +77,16 @@ func WithRepair(enabled bool) Option {
 }
 
 // WithPollInterval sets the simulated-cycle slice between detector polls
-// of the driver device.
+// of the driver device. The value is used exactly as given: neither the
+// scale-aware derivation (WithAutoPollInterval) nor the bounded-run
+// default of Attach applies on top of it.
 func WithPollInterval(cycles uint64) Option {
 	return func(s *settings) error {
 		if cycles == 0 {
 			return fmt.Errorf("WithPollInterval: interval must be positive")
 		}
 		s.cfg.PollInterval = cycles
+		s.pollSource = pollExplicit
 		return nil
 	}
 }

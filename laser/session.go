@@ -121,10 +121,56 @@ func Attach(img *workload.Image, opts ...Option) (*Session, error) {
 	if st.cfg.MaxEpochs == 0 {
 		st.cfg.MaxEpochs = DefaultMaxEpochs
 	}
+	if err := resolvePollInterval(&st); err != nil {
+		return nil, err
+	}
 	if err := st.cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return newSession(img, st)
+}
+
+// resolvePollInterval settles the session's poll cadence after every
+// option has applied. An explicit WithPollInterval is used verbatim;
+// WithAutoPollInterval scales the configured base — DefaultConfig's or
+// WithConfig's — by the workload scale (it conflicts with
+// WithPollInterval); and when nobody chose any cadence, a bounded run
+// (MaxCycles set below the default cadence) derives one from the
+// machine's run budget, so even a short capped session gets several
+// §4.4 trigger checks instead of none at all. A cadence carried in by
+// WithConfig is never rewritten by the bounded-run rule: that caller
+// chose it.
+func resolvePollInterval(st *settings) error {
+	if st.autoPollScale > 0 {
+		if st.pollSource == pollExplicit {
+			return errors.New("laser: WithAutoPollInterval conflicts with WithPollInterval: pick one")
+		}
+		base := st.cfg.PollInterval
+		if base == 0 {
+			base = DefaultConfig().PollInterval
+		}
+		st.cfg.PollInterval = AutoPollInterval(base, st.autoPollScale)
+		return nil
+	}
+	if st.pollSource != pollDefault || st.cfg.MaxCycles == 0 {
+		return nil
+	}
+	base := st.cfg.PollInterval
+	if base == 0 {
+		base = DefaultConfig().PollInterval
+	}
+	if st.cfg.MaxCycles < base {
+		// boundedRunPolls checks per capped run, matching the full-length
+		// budget: a 2M-cycle cadence polls a typical full-scale workload
+		// a handful of times before exit.
+		const boundedRunPolls = 4
+		iv := st.cfg.MaxCycles / boundedRunPolls
+		if iv < 1 {
+			iv = 1
+		}
+		st.cfg.PollInterval = iv
+	}
+	return nil
 }
 
 // newSession wires the Figure 8 processes together. st.cfg must already
