@@ -7,6 +7,8 @@
 //	           [-ascale N] [-pscale N] [-runs N] [-intra N]
 //	           [-cache DIR] [-shard I/N] [-shard-partition cost|hash]
 //	           [-cache-gc AGE] [-cache-gc-bytes N]
+//	           [-fault-plan SPEC] [-unit-retries N]
+//	           [-unit-deadline-floor D] [-unit-backoff D]
 //	           [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every experiment is a registered spec (enumerated work units plus a
@@ -42,6 +44,19 @@
 // `laserbench -cache DIR -exp none -cache-gc 720h` prunes without
 // evaluating anything.
 //
+// -fault-plan SPEC (default $LASER_FAULT_PLAN) arms deterministic
+// fault injection for chaos runs: seeded injected panics, errors and
+// stalls per work-unit attempt plus run-cache read/write faults, all a
+// pure function of (seed, point, site, attempt) so a plan replays
+// identically at any parallelism. Units that fail retry with
+// exponential backoff under a cost-model deadline (-unit-retries,
+// -unit-deadline-floor, -unit-backoff tune the policy); units that
+// exhaust the budget are quarantined — their figure renders explicit
+// failure-marker rows, sibling figures render normally, and the
+// process exits non-zero with a one-line failure summary that -json
+// also embeds. See EXPERIMENTS.md ("Chaos runs") and
+// internal/faultinject for the plan syntax.
+//
 // -json additionally writes machine-readable results to FILE: per-figure
 // wall time annotated warm/cold with work-unit cache-hit/simulated
 // counts, key scalar metrics, and a serial-vs-parallel engine
@@ -63,6 +78,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 )
 
 func main() {
@@ -71,6 +87,10 @@ func main() {
 	pscale := flag.Float64("pscale", 1, "performance experiment scale")
 	runs := flag.Int("runs", 3, "runs per performance data point")
 	intra := flag.Int("intra", 0, "intra-run engine workers per simulation (0 = automatic split)")
+	faultPlan := flag.String("fault-plan", "", "deterministic fault-injection plan (default $LASER_FAULT_PLAN; see internal/faultinject)")
+	unitRetries := flag.Int("unit-retries", 0, "attempts per failing work unit before quarantine (0 = default 3)")
+	unitDeadlineFloor := flag.Duration("unit-deadline-floor", 0, "minimum per-unit deadline (0 = default 30s)")
+	unitBackoff := flag.Duration("unit-backoff", 0, "backoff before the first unit retry, doubling per attempt (0 = default 100ms)")
 	cacheDir := flag.String("cache", "", "persistent run-cache directory")
 	shardSpec := flag.String("shard", "", "warm shard I/N of the selected experiments into -cache, without rendering")
 	shardPartition := flag.String("shard-partition", "cost", "shard partition mode: cost (balance estimated simulation cost) or hash (by cache key)")
@@ -101,6 +121,25 @@ func main() {
 
 	if *intra > 0 {
 		os.Setenv("LASER_BENCH_INTRA", fmt.Sprint(*intra))
+	}
+	planSpec := *faultPlan
+	if planSpec == "" {
+		planSpec = os.Getenv("LASER_FAULT_PLAN")
+	}
+	if planSpec != "" {
+		plan, err := faultinject.Parse(planSpec)
+		if err != nil {
+			fail(err)
+		}
+		faultinject.Enable(plan)
+		// The canonical plan string: re-running with it replays the
+		// exact same faults, regardless of interleaving.
+		fmt.Fprintf(os.Stderr, "laserbench: fault injection enabled: %s\n", plan)
+	}
+	runOpts := experiments.RunOptions{
+		MaxAttempts:   *unitRetries,
+		DeadlineFloor: *unitDeadlineFloor,
+		BackoffBase:   *unitBackoff,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -164,33 +203,37 @@ func main() {
 			fail(fmt.Errorf("invalid -shard %q: want I/N with 0 <= I < N", *shardSpec))
 		}
 		mode := experiments.PartitionMode(*shardPartition)
-		owned, total, err := experiments.RunShard(cfg, wantFn, shard, n, mode, os.Stderr)
+		owned, total, sum, err := experiments.RunShard(cfg, wantFn, shard, n, mode, runOpts, os.Stderr)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "laserbench: shard %d/%d warmed %d of %d work units into %s\n",
 			shard, n, owned, total, *cacheDir)
+		if sum.Failed() {
+			fail(fmt.Errorf("shard FAILED: %s", sum))
+		}
 		return
 	}
 
 	start := time.Now()
 	// Figures stream to stdout as each experiment assembles, so a
 	// failure late in a long evaluation keeps everything rendered so
-	// far on the terminal.
-	results, err := experiments.Run(cfg, wantFn, experiments.RunOptions{
-		Progress: os.Stderr,
-		OnSpec: func(res experiments.SpecResult) {
-			bench.Record(res)
-			for _, a := range res.Rendered.Artifacts {
-				if all || want[a.Name] || want[res.Spec.Name] {
-					fmt.Println(a.Text)
-				}
+	// far on the terminal. Quarantined specs stream explicit failure
+	// markers; the run keeps going and the exit status reports them.
+	runOpts.Progress = os.Stderr
+	runOpts.OnSpec = func(res experiments.SpecResult) {
+		bench.Record(res)
+		for _, a := range res.Rendered.Artifacts {
+			if all || want[a.Name] || want[res.Spec.Name] {
+				fmt.Println(a.Text)
 			}
-		},
-	})
+		}
+	}
+	results, sum, err := experiments.Run(cfg, wantFn, runOpts)
 	if err != nil {
 		fail(err)
 	}
+	bench.RecordFailures(sum)
 	if len(results) > 0 {
 		fmt.Fprintf(os.Stderr, "laserbench: %d experiments in %.1fs\n", len(results), time.Since(start).Seconds())
 	}
@@ -222,5 +265,15 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fail(err)
 		}
+	}
+	// Quarantined units: everything above still rendered (markers for
+	// the affected specs, real artifacts for the rest) and the BENCH
+	// json carries the full summary — but the process exit must not
+	// claim success.
+	if sum.Failed() {
+		fail(fmt.Errorf("FAILED: %s", sum))
+	}
+	if !sum.Empty() {
+		fmt.Fprintf(os.Stderr, "laserbench: %s\n", sum)
 	}
 }

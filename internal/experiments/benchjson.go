@@ -31,6 +31,9 @@ type BenchFigure struct {
 	Units     int `json:"units"`
 	Simulated int `json:"simulated"`
 	CacheHits int `json:"cache_hits"`
+	// FailedUnits counts quarantined units; non-zero means the figure's
+	// artifacts are failure markers, not real renderings.
+	FailedUnits int `json:"failed_units,omitempty"`
 	// SimulatedSeconds is the observed wall time of this run's
 	// simulations alone (0 when warm); EstCost is the cost model's
 	// estimate for all the figure's units, in model units — the pair is
@@ -67,6 +70,17 @@ type BenchReport struct {
 	Runs          int             `json:"runs"`
 	Figures       []BenchFigure   `json:"figures"`
 	IntraRun      []BenchIntraRun `json:"intra_run,omitempty"`
+	// Failures is the executor's failure summary: quarantined units and
+	// transient retries. Omitted on a fault-free run.
+	Failures *FailureSummary `json:"failures,omitempty"`
+}
+
+// RecordFailures embeds the run's failure summary (dropped when empty,
+// so fault-free BENCH documents are unchanged).
+func (r *BenchReport) RecordFailures(sum *FailureSummary) {
+	if !sum.Empty() {
+		r.Failures = sum
+	}
 }
 
 // NewBenchReport stamps the host and configuration.
@@ -93,6 +107,7 @@ func (r *BenchReport) Record(res SpecResult) {
 		Units:            res.Units,
 		Simulated:        res.Simulated,
 		CacheHits:        res.CacheHits,
+		FailedUnits:      res.FailedUnits,
 		SimulatedSeconds: res.SimulatedSeconds,
 		EstCost:          res.EstCost,
 	}

@@ -105,9 +105,12 @@ func TestShardMergeEquivalence(t *testing.T) {
 				if err := SetCacheDir(dir); err != nil {
 					t.Fatal(err)
 				}
-				owned, tot, err := RunShard(cfg, wantCacheTestExps, shard, n, mode, nil)
+				owned, tot, sum, err := RunShard(cfg, wantCacheTestExps, shard, n, mode, RunOptions{}, nil)
 				if err != nil {
 					t.Fatal(err)
+				}
+				if !sum.Empty() {
+					t.Fatalf("shard %d reported failures on a healthy run: %s", shard, sum)
 				}
 				if owned == 0 {
 					t.Errorf("shard %d owns no work units", shard)
@@ -146,11 +149,11 @@ func TestShardMergeEquivalence(t *testing.T) {
 func TestShardRejectsBadSpec(t *testing.T) {
 	cfg := cacheTestConfig()
 	for _, tc := range []struct{ shard, n int }{{-1, 2}, {2, 2}, {0, 0}} {
-		if _, _, err := RunShard(cfg, wantCacheTestExps, tc.shard, tc.n, PartitionCost, nil); err == nil {
+		if _, _, _, err := RunShard(cfg, wantCacheTestExps, tc.shard, tc.n, PartitionCost, RunOptions{}, nil); err == nil {
 			t.Errorf("RunShard(%d, %d) accepted an invalid spec", tc.shard, tc.n)
 		}
 	}
-	if _, _, err := RunShard(cfg, wantCacheTestExps, 0, 2, "fastest", nil); err == nil {
+	if _, _, _, err := RunShard(cfg, wantCacheTestExps, 0, 2, "fastest", RunOptions{}, nil); err == nil {
 		t.Error("RunShard accepted an unknown partition mode")
 	}
 }

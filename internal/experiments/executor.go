@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/runcache"
 )
 
@@ -19,6 +21,13 @@ import (
 // deterministic partition of it — by estimated cost (LPT) or by the
 // historical key hash — warming a shared cache directory instead of
 // rendering.
+//
+// Execution is chaos-hardened: every work unit runs under recover()
+// with a deadline derived from the cost model and a bounded
+// exponential-backoff retry. A unit that exhausts its budget is
+// quarantined — its spec renders explicit marker rows instead of real
+// artifacts, sibling units and sibling specs keep running — and the
+// run's FailureSummary records every quarantined and retried unit.
 
 // SpecResult is one executed experiment: its rendered artifacts plus
 // the executor's accounting.
@@ -30,6 +39,15 @@ type SpecResult struct {
 	// from the run cache — memory, disk, or an earlier spec's phase
 	// (cross-experiment dedup).
 	Units, Simulated, CacheHits int
+	// FailedUnits counts units quarantined after exhausting their retry
+	// budget, including units an earlier spec already quarantined
+	// (cross-experiment dedup also dedupes failures: a poisoned key is
+	// never re-retried). Non-zero means Rendered holds quarantine
+	// markers, not real artifacts.
+	FailedUnits int
+	// Failures are this spec's quarantined units (and its assembly
+	// failure, labelled "<assemble>", if any), in unit order.
+	Failures []UnitFailure
 	// EstCost sums the units' static cost estimates;
 	// SimulatedSeconds sums the observed wall time of the simulations
 	// this phase actually ran (0 on a fully warm cache).
@@ -43,6 +61,28 @@ type SpecResult struct {
 	Warm        bool
 }
 
+// Failed reports whether the spec rendered quarantine markers instead
+// of real artifacts.
+func (r *SpecResult) Failed() bool { return len(r.Failures) > 0 }
+
+// Retry-policy defaults; RunOptions overrides each.
+const (
+	// defaultMaxAttempts bounds tries per failing work unit.
+	defaultMaxAttempts = 3
+	// defaultDeadlineFloor is the minimum per-unit deadline: tiny units
+	// (characterization cases, small-scale CI configs) get a generous
+	// absolute floor instead of a meaninglessly small scaled one.
+	defaultDeadlineFloor = 30 * time.Second
+	// defaultDeadlineScale is the per-unit deadline budget in seconds
+	// per cost-model unit (cost.go's abstract units, ~0.03 s/unit
+	// observed at CI scale — the default budgets two orders of
+	// magnitude of slack before calling a unit stalled).
+	defaultDeadlineScale = 5.0
+	// defaultBackoffBase is the delay before the first retry; it
+	// doubles per subsequent attempt.
+	defaultBackoffBase = 100 * time.Millisecond
+)
+
 // RunOptions tunes an executor run.
 type RunOptions struct {
 	// Progress receives one line per completed spec (nil = silent).
@@ -52,6 +92,181 @@ type RunOptions struct {
 	// so a failure (or an impatient reader) late in a long evaluation
 	// does not discard everything already rendered.
 	OnSpec func(SpecResult)
+	// MaxAttempts bounds how many times a failing work unit is tried
+	// before quarantine (0 = defaultMaxAttempts).
+	MaxAttempts int
+	// DeadlineFloor is the minimum per-unit deadline
+	// (0 = defaultDeadlineFloor).
+	DeadlineFloor time.Duration
+	// DeadlineScale is the per-unit deadline budget in seconds per
+	// cost-model unit; the deadline is
+	// max(DeadlineFloor, DeadlineScale × unit cost)
+	// (0 = defaultDeadlineScale).
+	DeadlineScale float64
+	// BackoffBase is the delay before the first retry, doubling per
+	// attempt (0 = defaultBackoffBase).
+	BackoffBase time.Duration
+}
+
+// runPolicy is RunOptions' retry policy with defaults applied.
+type runPolicy struct {
+	maxAttempts   int
+	deadlineFloor time.Duration
+	deadlineScale float64
+	backoffBase   time.Duration
+}
+
+func (o RunOptions) policy() runPolicy {
+	p := runPolicy{
+		maxAttempts:   o.MaxAttempts,
+		deadlineFloor: o.DeadlineFloor,
+		deadlineScale: o.DeadlineScale,
+		backoffBase:   o.BackoffBase,
+	}
+	if p.maxAttempts <= 0 {
+		p.maxAttempts = defaultMaxAttempts
+	}
+	if p.deadlineFloor <= 0 {
+		p.deadlineFloor = defaultDeadlineFloor
+	}
+	if p.deadlineScale <= 0 {
+		p.deadlineScale = defaultDeadlineScale
+	}
+	if p.backoffBase <= 0 {
+		p.backoffBase = defaultBackoffBase
+	}
+	return p
+}
+
+// deadline derives a unit's per-attempt deadline from its cost-model
+// estimate: the scaled estimate, floored for tiny units.
+func (p runPolicy) deadline(cost float64) time.Duration {
+	d := time.Duration(cost * p.deadlineScale * float64(time.Second))
+	if d < p.deadlineFloor {
+		d = p.deadlineFloor
+	}
+	return d
+}
+
+// executor carries one run's chaos-hardening state across specs: the
+// retry policy, the quarantine (shared across specs — a key one spec
+// exhausted is never re-retried by a later spec enumerating it), and
+// the run's failure summary. Work units execute concurrently, but all
+// quarantine/summary state is folded by the serial spec loop in unit
+// order, so the summary is deterministic at any parallelism.
+type executor struct {
+	pol         runPolicy
+	quarantined map[string]*UnitFailure // by cache-key ID
+	summary     FailureSummary
+}
+
+func newExecutor(pol runPolicy) *executor {
+	return &executor{pol: pol, quarantined: make(map[string]*UnitFailure)}
+}
+
+// runAttempt executes one attempt of a unit under recover() and the
+// deadline. The attempt body runs on its own goroutine so the deadline
+// can preempt it; a preempted attempt's goroutine keeps running until
+// the simulation's own bounds (machine cycle caps) stop it — the
+// buffered channel lets it finish and exit without a receiver.
+//
+// The unit.* injection points fire here, keyed by the unit's label: a
+// panic at the start of the attempt, an injected error, or a stall.
+// The stall consumes the whole attempt (it never proceeds to run the
+// unit): the run cache's singleflight would otherwise pin later
+// attempts behind the stalled computation.
+func (x *executor) runAttempt(u WorkUnit, intra, attempt int) error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- &unitPanicError{val: r, stack: debug.Stack()}
+			}
+		}()
+		faultinject.Panic(faultinject.PointUnitPanic, u.Label, attempt)
+		if err := faultinject.Error(faultinject.PointUnitErr, u.Label, attempt); err != nil {
+			done <- err
+			return
+		}
+		if err := faultinject.Stall(faultinject.PointUnitStall, u.Label, attempt); err != nil {
+			done <- err
+			return
+		}
+		done <- u.Run(intra)
+	}()
+	deadline := x.pol.deadline(u.Cost)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return &unitTimeoutError{label: u.Label, deadline: deadline}
+	}
+}
+
+// runUnit drives one unit through the retry budget. It returns the
+// unit's failure when every attempt failed (the unit is then
+// quarantined by the caller) or the retry record when it succeeded
+// after failed attempts; (nil, nil) is a clean first-attempt success.
+// runUnit touches no executor state — it runs concurrently on the
+// worker pool and the serial spec loop folds its results in unit order.
+func (x *executor) runUnit(spec string, u WorkUnit, intra int) (*UnitFailure, *UnitRetry) {
+	var kinds []string
+	var lastErr error
+	for attempt := 1; attempt <= x.pol.maxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(x.pol.backoffBase << (attempt - 2))
+		}
+		err := x.runAttempt(u, intra, attempt)
+		if err == nil {
+			if len(kinds) == 0 {
+				return nil, nil
+			}
+			return nil, &UnitRetry{Spec: spec, Label: u.Label, Attempts: attempt, Kinds: kinds}
+		}
+		kinds = append(kinds, classifyFault(err))
+		lastErr = err
+	}
+	return &UnitFailure{
+		Spec:     spec,
+		Label:    u.Label,
+		Key:      u.Key.ID(),
+		Attempts: x.pol.maxAttempts,
+		Kinds:    kinds,
+		Reason:   lastErr.Error(),
+	}, nil
+}
+
+// fold records a phase's per-unit outcomes into the quarantine and the
+// summary, in unit order — called from the serial spec loop only.
+func (x *executor) fold(fails []*UnitFailure, retries []*UnitRetry) {
+	for _, f := range fails {
+		if f == nil {
+			continue
+		}
+		if _, dup := x.quarantined[f.Key]; dup {
+			continue
+		}
+		x.quarantined[f.Key] = f
+		x.summary.Quarantined = append(x.summary.Quarantined, *f)
+	}
+	for _, r := range retries {
+		if r != nil {
+			x.summary.Recovered = append(x.summary.Recovered, *r)
+		}
+	}
+}
+
+// assemble runs a spec's Assemble under recover(), so a panicking
+// renderer degrades to a spec failure instead of tearing the run down.
+func assemble(spec *Spec, cfg Config) (r *Rendered, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r, err = nil, &unitPanicError{val: rec, stack: debug.Stack()}
+		}
+	}()
+	return spec.Assemble(cfg)
 }
 
 // selected reports whether want picks the spec, by its name or any of
@@ -69,9 +284,18 @@ func selected(s *Spec, want func(string) bool) bool {
 }
 
 // Run executes the selected experiments end to end and returns their
-// results in registry (print) order. The first failing unit or assembly
-// aborts the run with the results completed so far.
-func Run(cfg Config, want func(exp string) bool, opt RunOptions) ([]SpecResult, error) {
+// results in registry (print) order, plus the run's failure summary.
+//
+// Failing units no longer abort the run: each is retried under the
+// options' policy, and a unit that exhausts its budget is quarantined —
+// sibling units and later specs keep executing, the owning spec renders
+// explicit "unit failed (N attempts)" marker artifacts instead of
+// calling Assemble (which would silently re-simulate the poisoned keys),
+// and the summary reports every quarantined key. Callers decide the
+// process outcome from summary.Failed(); the error return is reserved
+// for infrastructure failures, not unit failures.
+func Run(cfg Config, want func(exp string) bool, opt RunOptions) ([]SpecResult, *FailureSummary, error) {
+	x := newExecutor(opt.policy())
 	executed := make(map[string]bool)
 	var out []SpecResult
 	for _, spec := range Specs() {
@@ -82,19 +306,21 @@ func Run(cfg Config, want func(exp string) bool, opt RunOptions) ([]SpecResult, 
 		units := spec.Enumerate(cfg)
 		var phase []WorkUnit
 		for _, u := range units {
-			if !executed[u.Key.ID()] {
+			// Keys an earlier spec quarantined are poisoned, not re-tried:
+			// the retry budget is per key, not per (spec, key).
+			if id := u.Key.ID(); !executed[id] && x.quarantined[id] == nil {
 				phase = append(phase, u)
 			}
 		}
 		intra := intraRunWorkers(len(phase))
-		if err := forEach(len(phase), func(i int) error {
-			if err := phase[i].Run(intra); err != nil {
-				return fmt.Errorf("%s: unit %s: %w", spec.Name, phase[i].Label, err)
-			}
+		fails := make([]*UnitFailure, len(phase))
+		retries := make([]*UnitRetry, len(phase))
+		forEach(len(phase), func(i int) error {
+			fails[i], retries[i] = x.runUnit(spec.Name, phase[i], intra)
 			return nil
-		}); err != nil {
-			return out, err
-		}
+		})
+		x.fold(fails, retries)
+
 		res := SpecResult{Spec: spec, Units: len(units)}
 		phaseIDs := make(map[string]bool, len(phase))
 		for _, u := range phase {
@@ -102,8 +328,15 @@ func Run(cfg Config, want func(exp string) bool, opt RunOptions) ([]SpecResult, 
 		}
 		for _, u := range units {
 			id := u.Key.ID()
-			executed[id] = true
 			res.EstCost += u.Cost
+			if f := x.quarantined[id]; f != nil {
+				// A failing simulation is not memoized by the run cache, so
+				// a quarantined unit is neither a hit nor a simulation.
+				res.FailedUnits++
+				res.Failures = append(res.Failures, *f)
+				continue
+			}
+			executed[id] = true
 			if oc, cost, ok := cache.Lookup(u.Key); ok && oc == runcache.Computed && phaseIDs[id] {
 				res.Simulated++
 				res.SimulatedSeconds += cost
@@ -111,23 +344,39 @@ func Run(cfg Config, want func(exp string) bool, opt RunOptions) ([]SpecResult, 
 				res.CacheHits++
 			}
 		}
-		rendered, err := spec.Assemble(cfg)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", spec.Name, err)
+		if res.FailedUnits > 0 {
+			res.Rendered = quarantineRendered(spec, res.Failures)
+		} else if rendered, err := assemble(spec, cfg); err != nil {
+			f := UnitFailure{
+				Spec:     spec.Name,
+				Label:    spec.Name + "/<assemble>",
+				Key:      spec.Name + "/<assemble>",
+				Attempts: 1,
+				Kinds:    []string{classifyFault(err)},
+				Reason:   err.Error(),
+			}
+			x.summary.Quarantined = append(x.summary.Quarantined, f)
+			res.Failures = append(res.Failures, f)
+			res.Rendered = quarantineRendered(spec, res.Failures)
+		} else {
+			res.Rendered = rendered
 		}
-		res.Rendered = rendered
 		res.WallSeconds = time.Since(start).Seconds()
-		res.Warm = res.Simulated == 0
+		res.Warm = res.Simulated == 0 && !res.Failed()
 		if opt.Progress != nil {
-			fmt.Fprintf(opt.Progress, "%s: %d work units (%d simulated, %d cached) in %.1fs\n",
-				spec.Name, res.Units, res.Simulated, res.CacheHits, res.WallSeconds)
+			failNote := ""
+			if res.Failed() {
+				failNote = fmt.Sprintf(", %d QUARANTINED", len(res.Failures))
+			}
+			fmt.Fprintf(opt.Progress, "%s: %d work units (%d simulated, %d cached%s) in %.1fs\n",
+				spec.Name, res.Units, res.Simulated, res.CacheHits, failNote, res.WallSeconds)
 		}
 		if opt.OnSpec != nil {
 			opt.OnSpec(res)
 		}
 		out = append(out, res)
 	}
-	return out, nil
+	return out, &x.summary, nil
 }
 
 // PartitionMode selects the deterministic work-unit partition of a
@@ -224,16 +473,19 @@ func enumerateAll(cfg Config, want func(exp string) bool) []WorkUnit {
 // RunShard executes the shard'th of n deterministic slices of the
 // selected experiments' work units on the experiment pool, warming the
 // attached cache. It returns how many units this shard owns out of the
-// enumerated total. Progress and the estimated/observed cost summary
-// (the cost-model calibration signal) go to w when non-nil.
-func RunShard(cfg Config, want func(exp string) bool, shard, n int, mode PartitionMode, w io.Writer) (owned, total int, err error) {
+// enumerated total, plus the shard's failure summary: units run under
+// the same per-unit recover/deadline/retry policy as Run, failures
+// don't abort sibling units, and the caller decides the process outcome
+// from summary.Failed(). Progress and the estimated/observed cost
+// summary (the cost-model calibration signal) go to w when non-nil.
+func RunShard(cfg Config, want func(exp string) bool, shard, n int, mode PartitionMode, opt RunOptions, w io.Writer) (owned, total int, sum *FailureSummary, err error) {
 	if n < 1 || shard < 0 || shard >= n {
-		return 0, 0, fmt.Errorf("experiments: shard %d/%d out of range", shard, n)
+		return 0, 0, nil, fmt.Errorf("experiments: shard %d/%d out of range", shard, n)
 	}
 	units := enumerateAll(cfg, want)
 	owners, err := partitionOwners(units, n, mode)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	var mine []WorkUnit
 	var mineCost, allCost float64
@@ -248,14 +500,16 @@ func RunShard(cfg Config, want func(exp string) bool, shard, n int, mode Partiti
 		fmt.Fprintf(w, "shard %d/%d owns %d of %d work units (%s partition, est cost %.1f of %.1f)\n",
 			shard, n, len(mine), len(units), modeName(mode), mineCost, allCost)
 	}
+	x := newExecutor(opt.policy())
 	intra := intraRunWorkers(len(mine))
-	err = forEach(len(mine), func(i int) error {
-		if err := mine[i].Run(intra); err != nil {
-			return fmt.Errorf("shard unit %s: %w", mine[i].Label, err)
-		}
+	fails := make([]*UnitFailure, len(mine))
+	retries := make([]*UnitRetry, len(mine))
+	forEach(len(mine), func(i int) error {
+		fails[i], retries[i] = x.runUnit("shard", mine[i], intra)
 		return nil
 	})
-	if w != nil && err == nil && mineCost > 0 {
+	x.fold(fails, retries)
+	if w != nil && mineCost > 0 {
 		var observed float64
 		for _, u := range mine {
 			if oc, cost, ok := cache.Lookup(u.Key); ok && oc == runcache.Computed {
@@ -269,7 +523,7 @@ func RunShard(cfg Config, want func(exp string) bool, shard, n int, mode Partiti
 				shard, n, observed, mineCost, observed/mineCost)
 		}
 	}
-	return len(mine), len(units), err
+	return len(mine), len(units), &x.summary, nil
 }
 
 func modeName(mode PartitionMode) PartitionMode {

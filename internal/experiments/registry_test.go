@@ -101,9 +101,12 @@ func TestRegistryRoundTrip(t *testing.T) {
 	if err := SetCacheDir(dir); err != nil {
 		t.Fatal(err)
 	}
-	cold, err := Run(cfg, all, RunOptions{})
+	cold, coldSum, err := Run(cfg, all, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !coldSum.Empty() {
+		t.Fatalf("cold run reported failures: %s", coldSum)
 	}
 	compare("cold", cold)
 
@@ -114,9 +117,12 @@ func TestRegistryRoundTrip(t *testing.T) {
 	if err := SetCacheDir(dir); err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Run(cfg, all, RunOptions{})
+	warm, warmSum, err := Run(cfg, all, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !warmSum.Empty() {
+		t.Fatalf("warm run reported failures: %s", warmSum)
 	}
 	compare("warm", warm)
 	for _, res := range warm {
@@ -269,9 +275,12 @@ func TestExecutorCrossSpecDedup(t *testing.T) {
 	t.Cleanup(resetCache)
 	cfg := cacheTestConfig()
 	want := func(e string) bool { return e == "fig11" || e == "fig12" }
-	results, err := Run(cfg, want, RunOptions{})
+	results, sum, err := Run(cfg, want, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !sum.Empty() {
+		t.Fatalf("run reported failures: %s", sum)
 	}
 	if len(results) != 2 {
 		t.Fatalf("executed %d specs, want fig11+fig12", len(results))

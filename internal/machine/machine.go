@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/coherence"
 	"repro/internal/isa"
@@ -98,6 +99,23 @@ type Config struct {
 
 // ErrTimeout reports that a run exceeded Config.MaxCycles.
 var ErrTimeout = errors.New("machine: cycle limit exceeded")
+
+// PanicError reports a panic raised while the machine was executing —
+// a malformed program (unknown opcode, ret on an empty call stack), an
+// interpreter bug, or an injected chaos fault. Run and RunFor convert
+// such panics into a *PanicError return instead of unwinding into the
+// caller, with every engine worker goroutine already joined; the
+// machine itself is left in an undefined state and must be discarded.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("machine: panic during run: %v", e.Value)
+}
 
 // LineWrite describes one dirty cache line at a private-memory commit:
 // which line and which bytes of it the thread wrote.
@@ -411,7 +429,22 @@ func (m *Machine) Run() (*Stats, error) {
 // and target — instead of re-running the scan per instruction. The
 // resulting execution order, and therefore every statistic, is identical
 // to the one-instruction-at-a-time schedule.
-func (m *Machine) RunFor(target uint64) (bool, error) {
+//
+// A panic raised while executing — malformed program, interpreter bug,
+// injected chaos fault — is contained: RunFor recovers it and returns a
+// *PanicError with all engine worker goroutines joined, so a panicking
+// workload cannot tear down the evaluation process or leak goroutines.
+func (m *Machine) RunFor(target uint64) (done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+			} else {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			done = false
+		}
+	}()
 	if m.eng != nil {
 		return m.eng.runFor(target)
 	}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -70,6 +71,11 @@ type engine struct {
 	target uint64
 	jobs   chan int
 	wg     sync.WaitGroup
+
+	// fail is the first segment panic recovered on a worker, recorded by
+	// consume and returned from runFor. Only the scheduler goroutine
+	// touches it (consume runs after the worker's done send), so no lock.
+	fail error
 }
 
 // defaultDispatchThreshold is the segment length, in instructions, at
@@ -105,6 +111,10 @@ const (
 
 type coreState struct {
 	status segStatus
+	// fault is a panic recovered while a worker ran this core's segment;
+	// consume surfaces it as the run's failure instead of folding the
+	// (unwritten) result in.
+	fault error
 	// ema predicts the next segment's instruction count from recent
 	// history; it decides inline vs dispatched execution and adapts
 	// per-core, so a contended core degrades to serial stepping while a
@@ -433,6 +443,7 @@ func (e *engine) checkForeign(tid int, line mem.Line) {
 func (e *engine) runFor(target uint64) (bool, error) {
 	m := e.m
 	e.target = target
+	e.fail = nil
 	defer e.stopPool()
 	live := 0
 	for _, t := range m.threads {
@@ -440,7 +451,7 @@ func (e *engine) runFor(target uint64) (bool, error) {
 			live++
 		}
 	}
-	for live > 0 {
+	for live > 0 && e.fail == nil {
 		// pickCoreAndLimit applies the serial scheduler's exact pick rule
 		// (lowest clock, ties to the lowest core id). In-flight cores
 		// participate with their dispatch-time clocks — lower bounds of
@@ -459,11 +470,14 @@ func (e *engine) runFor(target uint64) (bool, error) {
 		if m.clock[c] >= target {
 			e.settleAll()
 			m.finishStats()
-			return false, nil
+			return false, e.fail
 		}
 		if m.clock[c] > m.cfg.MaxCycles {
 			e.settleAll()
 			m.finishStats()
+			if e.fail != nil {
+				return false, e.fail
+			}
 			return false, ErrTimeout
 		}
 		t := m.curThread[c]
@@ -532,6 +546,9 @@ func (e *engine) runFor(target uint64) (bool, error) {
 	}
 	e.settleAll()
 	m.finishStats()
+	if e.fail != nil {
+		return false, e.fail
+	}
 	return true, nil
 }
 
@@ -561,6 +578,17 @@ func (e *engine) dispatch(c int) {
 // is unobservable — the property settleAll relies on.
 func (e *engine) consume(c int) {
 	st := &e.state[c]
+	if st.fault != nil {
+		// The worker panicked mid-segment: the result was never written,
+		// so there is nothing to fold. Record the first failure; runFor
+		// settles the rest and surfaces it.
+		if e.fail == nil {
+			e.fail = st.fault
+		}
+		st.fault = nil
+		st.status = segStopped
+		return
+	}
 	m := e.m
 	m.clock[c] = st.res.clock
 	m.stats.Instructions += st.res.steps
@@ -594,7 +622,7 @@ func (e *engine) ensurePool() {
 		go func() {
 			defer e.wg.Done()
 			for c := range e.jobs {
-				e.runSegment(c)
+				e.runSegmentGuarded(c)
 				e.state[c].done <- struct{}{}
 			}
 		}()
@@ -612,6 +640,22 @@ func (e *engine) stopPool() {
 	close(e.jobs)
 	e.wg.Wait()
 	e.jobs = nil
+}
+
+// runSegmentGuarded is the worker-side wrapper around runSegment: a
+// panic inside the segment (malformed program, injected chaos fault) is
+// recovered into the core's fault slot so the worker survives to send
+// its done signal — settleAll never deadlocks, the pool always joins,
+// and the scheduler surfaces the failure as runFor's error. Inline
+// (scheduler-goroutine) segments need no guard: their panics unwind
+// through runFor's deferred stopPool into Machine.RunFor's recover.
+func (e *engine) runSegmentGuarded(c int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.state[c].fault = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	e.runSegment(c)
 }
 
 // runSegment executes one core's local segment: private (or

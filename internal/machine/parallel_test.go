@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -411,18 +412,19 @@ func TestEngineOverlapPanics(t *testing.T) {
 }
 
 // TestEngineValidateSharingCatchesLies: a deliberately false privacy
-// declaration must be caught by the validation mode.
+// declaration must be caught by the validation mode. The validation
+// panic is contained by RunFor like any other execution panic, so it
+// surfaces as a *PanicError return.
 func TestEngineValidateSharingCatchesLies(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("false private declaration was not detected")
-		}
-	}()
 	prog, specs := contendedProg(100)
 	// Declare the *shared* line private to thread 0 — threads 1..3 hit it
 	// every iteration.
 	decl := [][]mem.Range{{{Start: mem.HeapBase, End: mem.HeapBase + 64}}}
 	m := New(prog, Config{Cores: 4, Parallelism: 4, DispatchThreshold: 1,
 		PrivateData: decl, ValidateSharing: true}, specs)
-	_, _ = m.Run()
+	_, err := m.Run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("false private declaration was not detected: Run() = %v, want *PanicError", err)
+	}
 }

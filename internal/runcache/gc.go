@@ -36,8 +36,10 @@ type GCStats struct {
 // Either rule is disabled by a non-positive limit. Entries this process
 // has already served (present in the in-memory layer) are never evicted:
 // an evaluation sharing the store can GC mid-run without losing results
-// it has touched. Stale temp files from crashed writers (older than one
-// hour) are also removed; they count toward neither entry statistic.
+// it has touched. Stale temp files from crashed writers (older than the
+// store's temp-age threshold — one hour unless Open was given
+// WithTempMaxAge) are also removed; they count toward neither entry
+// statistic.
 //
 // Concurrent shard processes warming the same directory may race a GC
 // pass; the atomic write protocol keeps every outcome safe (a concurrent
@@ -81,7 +83,11 @@ func (s *Store) GC(maxAge time.Duration, maxBytes int64) (GCStats, error) {
 			if !strings.HasSuffix(f.Name(), ".lrc") {
 				// A leftover temp file from a crashed writer; reap it once
 				// it is old enough that no live rename can still want it.
-				if strings.Contains(f.Name(), ".tmp-") && now.Sub(info.ModTime()) > time.Hour {
+				tempAge := s.tempMaxAge
+				if tempAge <= 0 {
+					tempAge = defaultTempMaxAge
+				}
+				if strings.Contains(f.Name(), ".tmp-") && now.Sub(info.ModTime()) > tempAge {
 					os.Remove(path)
 				}
 				continue

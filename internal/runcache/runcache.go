@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Key identifies one deterministic simulation. Every field participates
@@ -111,12 +113,36 @@ type Stats struct {
 // with Open or NewMemory.
 type Store struct {
 	dir string // "" = memory-only
+	// tempMaxAge is how old a crashed writer's leftover temp file must be
+	// before GC reaps it (see WithTempMaxAge).
+	tempMaxAge time.Duration
 
 	mu  sync.Mutex
 	mem map[string]*entry
 
 	computes, diskHits, memHits, corrupt, writeErrs atomic.Int64
 }
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithTempMaxAge sets how old a stale temp file (a crashed writer's
+// leftover staging file) must be before a GC pass reaps it. The default
+// is one hour — comfortably longer than any live rename window — but
+// short-lived CI directories and the chaos tests shrink it so reaping
+// is exercised without clock games. Non-positive values keep the
+// default.
+func WithTempMaxAge(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.tempMaxAge = d
+		}
+	}
+}
+
+// defaultTempMaxAge is the stale-temp reaping threshold when
+// WithTempMaxAge is not given.
+const defaultTempMaxAge = time.Hour
 
 type entry struct {
 	once sync.Once
@@ -159,18 +185,25 @@ func (o Outcome) String() string {
 // NewMemory returns a store with no disk layer: pure in-process
 // singleflight memoization (the replacement for the harness's historical
 // native-baseline sync.Map).
-func NewMemory() *Store { return &Store{mem: make(map[string]*entry)} }
+func NewMemory() *Store {
+	return &Store{mem: make(map[string]*entry), tempMaxAge: defaultTempMaxAge}
+}
 
 // Open returns a store persisting under dir, creating it if needed. An
 // empty dir yields a memory-only store.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := NewMemory()
+	for _, opt := range opts {
+		opt(s)
+	}
 	if dir == "" {
-		return NewMemory(), nil
+		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runcache: %w", err)
 	}
-	return &Store{dir: dir, mem: make(map[string]*entry)}, nil
+	s.dir = dir
+	return s, nil
 }
 
 // Dir returns the persistence directory ("" when memory-only).
@@ -190,9 +223,15 @@ func (s *Store) Stats() Stats {
 // Do returns the cached result for key, computing and caching it on
 // miss. Concurrent calls for one key run compute once and share the
 // result; callers must treat the returned value as read-only, exactly
-// like the memoized native baselines always were. Compute errors are
-// cached in-process (a failing simulation fails deterministically) but
-// never persisted.
+// like the memoized native baselines always were.
+//
+// Failures are not memoized: every caller waiting on a failing flight
+// shares its error (or, for the computing caller, its re-raised panic),
+// but the entry is then dropped, so a later Do for the same key
+// re-attempts the computation. That is what lets the executor's bounded
+// retry absorb transient faults — a panic or error injected into one
+// attempt does not poison the key for the next. Errors are never
+// persisted to disk.
 func Do[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 	var zero T
 	id := key.ID()
@@ -211,6 +250,7 @@ func Do[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 		s.mu.Unlock()
 	}
 	computed := false
+	var panicked any
 	e.once.Do(func() {
 		computed = true
 		if cost, ok := s.loadDisk(id, key, &zero); ok {
@@ -219,7 +259,19 @@ func Do[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 			return
 		}
 		start := time.Now()
-		val, err := compute()
+		val, err := func() (v T, err error) {
+			// A panicking simulation must not poison the entry (sync.Once
+			// counts a panicking f as done, which would leave waiters a
+			// nil value and no error): record it as the flight's error for
+			// waiters and re-raise it to the computing caller below.
+			defer func() {
+				if r := recover(); r != nil {
+					panicked = r
+					err = fmt.Errorf("runcache: compute for %s panicked: %v", id[:12], r)
+				}
+			}()
+			return compute()
+		}()
 		s.computes.Add(1)
 		e.val, e.err = val, err
 		cost := time.Since(start).Seconds()
@@ -232,6 +284,16 @@ func Do[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 		s.memHits.Add(1)
 	}
 	if e.err != nil {
+		// Drop the failed flight so the next Do re-attempts; waiters
+		// already holding e still read their shared error.
+		s.mu.Lock()
+		if s.mem[id] == e {
+			delete(s.mem, id)
+		}
+		s.mu.Unlock()
+		if panicked != nil {
+			panic(panicked)
+		}
 		var z T
 		return z, e.err
 	}
@@ -301,6 +363,14 @@ func (s *Store) loadDisk(id string, key Key, dst any) (float64, bool) {
 		// compute must never be deleted over a transient error.
 		return 0, false
 	}
+	if faultinject.Error(faultinject.PointCacheReadErr, key.canonical(), 1) != nil {
+		// Injected I/O error: same contract as the real one above — a
+		// plain miss, recomputed, never treated as corruption.
+		return 0, false
+	}
+	// Injected mid-read truncation lands on the validation path below
+	// exactly like a real torn entry: checksum mismatch, drop, recompute.
+	data = faultinject.Corrupt(faultinject.PointCacheReadCorrupt, key.canonical(), data)
 	rest, ok := cutHeaderLine(data, fileMagic)
 	if !ok {
 		s.dropCorrupt(path)
@@ -355,6 +425,13 @@ func (s *Store) dropCorrupt(path string) {
 // seconds, stored as entry metadata.
 func (s *Store) saveDisk(id string, key Key, val any, cost float64) {
 	if s.dir == "" {
+		return
+	}
+	if faultinject.Error(faultinject.PointCacheWriteErr, key.canonical(), 1) != nil {
+		// Injected write failure: the cache is best-effort on the write
+		// side, so the result is still served from memory; only the
+		// persistence (and the counter) records the loss.
+		s.writeErrs.Add(1)
 		return
 	}
 	var payload bytes.Buffer

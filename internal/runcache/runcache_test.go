@@ -76,7 +76,7 @@ func TestMemoryHitMiss(t *testing.T) {
 	}
 }
 
-func TestErrorsCachedNotPersisted(t *testing.T) {
+func TestErrorsNotMemoizedNotPersisted(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
@@ -92,18 +92,51 @@ func TestErrorsCachedNotPersisted(t *testing.T) {
 			t.Fatalf("err = %v, want boom", err)
 		}
 	}
-	if computes != 1 {
-		t.Errorf("failing compute ran %d times in-process, want 1 (deterministic failure)", computes)
+	// A failed flight is dropped, not memoized: the second Do must
+	// re-attempt (the executor's retry loop depends on it), and a
+	// successful retry heals the key in the same store.
+	if computes != 2 {
+		t.Errorf("failing compute ran %d times, want 2 (failures are not memoized)", computes)
+	}
+	if v, err := Do(s, testKey(7), func() (*payload, error) {
+		return testPayload(), nil
+	}); err != nil || v.Cycles != testPayload().Cycles {
+		t.Fatalf("retry after failures did not recompute: v=%+v err=%v", v, err)
 	}
 	// A fresh store over the same dir must not see a persisted failure.
 	s2, _ := Open(dir)
 	if _, err := Do(s2, testKey(7), func() (*payload, error) {
+		t.Error("healed entry was not persisted")
 		return testPayload(), nil
 	}); err != nil {
 		t.Fatalf("error was persisted: %v", err)
 	}
-	if s2.Stats().Computes != 1 {
-		t.Errorf("fresh store stats = %+v, want 1 compute", s2.Stats())
+}
+
+// A panicking compute re-raises to its caller but neither poisons the
+// key (retry recomputes) nor tears concurrent waiters (they share an
+// error instead of a zero value).
+func TestPanickingComputeNotMemoized(t *testing.T) {
+	s := NewMemory()
+	panics := 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic was swallowed by Do")
+			}
+		}()
+		Do(s, testKey(3), func() (*payload, error) {
+			panics++
+			panic("injected")
+		})
+	}()
+	if v, err := Do(s, testKey(3), func() (*payload, error) {
+		return testPayload(), nil
+	}); err != nil || v.Cycles != testPayload().Cycles {
+		t.Fatalf("retry after panic: v=%+v err=%v", v, err)
+	}
+	if panics != 1 {
+		t.Errorf("panicking compute ran %d times, want 1", panics)
 	}
 }
 

@@ -1,0 +1,132 @@
+package laser_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/workload"
+	"repro/laser"
+)
+
+// panicImage builds a two-thread image that loops over private ALU work
+// and then executes a corrupted instruction — the interpreter panics
+// mid-run, which the session must contain as a returned error.
+func panicImage(iters int64) *workload.Image {
+	b := isa.NewBuilder().At("chaos.c", 1)
+	b.Func("boom")
+	b.Li(1, 0)
+	b.Label("loop").Line(2)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, iters, "loop")
+	b.Nop()
+	b.Halt()
+	prog := b.Build()
+	prog.Instrs[4].Op = isa.Op(250)
+	return &workload.Image{
+		Prog:    prog,
+		Specs:   []machine.ThreadSpec{{Entry: 0}, {Entry: 0}},
+		Threads: 2,
+	}
+}
+
+// spinImage builds a two-thread image that loops long enough for a
+// context cancellation to land mid-run.
+func spinImage(iters int64) *workload.Image {
+	b := isa.NewBuilder().At("chaos.c", 1)
+	b.Func("spin")
+	b.Li(1, 0)
+	b.Label("loop").Line(2)
+	b.AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, iters, "loop")
+	b.Halt()
+	prog := b.Build()
+	return &workload.Image{
+		Prog:    prog,
+		Specs:   []machine.ThreadSpec{{Entry: 0}, {Entry: 0}},
+		Threads: 2,
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to at most
+// base, failing with a full stack dump if it never does.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A panicking workload inside Session.Run must come back as a returned
+// *machine.PanicError — never unwind into the caller — with every
+// intra-run worker goroutine joined. The session is terminal afterwards.
+func TestSessionContainsWorkloadPanic(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := laser.Attach(panicImage(50_000), laser.WithIntraRunParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	var pe *machine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run() error = %v, want *machine.PanicError", err)
+	}
+	if res == nil {
+		t.Fatal("Run() returned no partial result alongside the panic error")
+	}
+	// Terminal: further steps report done without re-running anything.
+	if done, err := s.Step(); !done || err != nil {
+		t.Fatalf("Step() after contained panic = (%v, %v), want (true, nil)", done, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}
+
+// Cancelling Run's context mid-run must return the context error with a
+// partial result and leave no goroutine behind — the intra-run worker
+// pool is joined at every RunFor slice boundary.
+func TestSessionRunCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := laser.Attach(spinImage(5_000_000), laser.WithIntraRunParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Run(ctx)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run() after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run() did not return after cancellation")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}

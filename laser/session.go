@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -287,14 +288,31 @@ func (s *Session) EpochSnapshotInto(dst *core.Report) {
 // feed the detection pipeline, and the repair trigger is checked — one
 // iteration of the Figure 8 monitor loop. It returns done=true once the
 // workload has run to completion and the session result is final.
-func (s *Session) Step() (bool, error) {
+//
+// A panicking workload (or detector/repair stage) is contained: the
+// machine converts execution panics into a *machine.PanicError with its
+// worker goroutines joined, a recover here catches the monitor side,
+// and either way the session turns terminal — the error is returned,
+// the panic never unwinds into the caller, and no goroutine leaks.
+func (s *Session) Step() (done bool, err error) {
 	if s.closed {
 		return true, ErrClosed
 	}
 	if s.done {
 		return true, nil
 	}
-	done, err := s.m.RunFor(s.next)
+	defer func() {
+		if r := recover(); r != nil {
+			s.done = true
+			done = true
+			if pe, ok := r.(*machine.PanicError); ok {
+				err = pe
+			} else {
+				err = &machine.PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}
+	}()
+	done, err = s.m.RunFor(s.next)
 	if err != nil {
 		s.done = true
 		return true, err
