@@ -1,0 +1,75 @@
+// Command laserd serves the LASER monitoring stack as a long-lived
+// HTTP/JSON daemon: many concurrent detection sessions, driven remotely
+// with step/run/pause, snapshotted and re-thresholded mid-run, and
+// followed over SSE with resumable sequence numbers. Admission control
+// (bounded session and simulation-worker pools answering 429 past
+// their caps), per-session cycle budgets, and an idle-TTL reaper keep a
+// shared host bounded under abusive or abandoned clients.
+//
+// Usage:
+//
+//	laserd [-addr :8347] [-max-sessions N] [-workers N]
+//	       [-max-pending-runs N] [-idle-ttl D] [-max-session-cycles N]
+//	       [-max-event-backlog N]
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight HTTP
+// requests finish, running sessions park, and every session detaches.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/runcache"
+	"repro/internal/serverd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap (0 = default 256)")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	maxPending := flag.Int("max-pending-runs", 0, "admitted-but-unfinished run cap (0 = 4x workers)")
+	idleTTL := flag.Duration("idle-ttl", 0, "idle session reap TTL (0 = default 2m)")
+	maxCycles := flag.Uint64("max-session-cycles", 0, "per-session simulated-cycle budget (0 = default 200M)")
+	maxBacklog := flag.Int("max-event-backlog", 0, "per-session retained event frame cap (0 = default 65536)")
+	flag.Parse()
+
+	srv := serverd.New(serverd.Config{
+		MaxSessions:      *maxSessions,
+		Workers:          *workers,
+		MaxPendingRuns:   *maxPending,
+		IdleTTL:          *idleTTL,
+		MaxSessionCycles: *maxCycles,
+		MaxEventBacklog:  *maxBacklog,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		log.Printf("laserd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("laserd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("laserd %s listening on %s", runcache.CodeVersion(), *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("laserd: %v", err)
+	}
+	<-done
+	srv.Close()
+	log.Printf("laserd: all sessions detached, bye")
+}

@@ -1,0 +1,412 @@
+// Command laserload load-tests a running laserd: N concurrent clients
+// each attach a session, run it, follow the SSE event stream to its eof
+// frame, and close. Every streamed byte sequence is checked against an
+// in-process reference session built from the identical attach request
+// — the determinism contract means any divergence is a server bug, and
+// laserload exits non-zero on one. 429 responses are retried honoring
+// Retry-After, so the harness also exercises admission control without
+// failing on it.
+//
+// The summary — sessions/sec, peak concurrency, and event-delivery
+// latency percentiles (frame receive time minus the server's append
+// stamp, via the ?ts=1 comment lines) — is written as JSON to -out.
+//
+// Usage:
+//
+//	laserload [-url http://127.0.0.1:8347] [-sessions 120]
+//	          [-concurrency 120] [-seeds 8] [-out BENCH_PR7.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serverd"
+	"repro/laser"
+)
+
+// clientMaxCycles is the explicit cycle cap every client sends. It is
+// far above what a load-image run needs but below any sane server
+// budget, so the effective budget — and therefore the reference stream
+// — is the same regardless of the server's configured ceiling.
+const clientMaxCycles = 50_000_000
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8347", "laserd base URL")
+	sessions := flag.Int("sessions", 120, "total sessions to drive")
+	concurrency := flag.Int("concurrency", 120, "concurrent client goroutines")
+	seeds := flag.Int("seeds", 8, "distinct session seeds (and reference streams)")
+	iters := flag.Int64("iters", 20_000, "custom image loop iterations")
+	poll := flag.Uint64("poll", 5_000, "session poll interval in cycles")
+	sav := flag.Int("sav", 2, "PEBS sample-after value")
+	out := flag.String("out", "BENCH_PR7.json", "benchmark report output path")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
+	flag.Parse()
+	if *sessions < 1 || *concurrency < 1 || *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "laserload: -sessions, -concurrency, -seeds must be positive")
+		os.Exit(2)
+	}
+
+	// The server must exist and its budget must not clamp below ours,
+	// or the reference streams would not match.
+	var ver struct {
+		CodeVersion      string `json:"code_version"`
+		MaxSessionCycles uint64 `json:"max_session_cycles"`
+	}
+	if err := getJSON(*url+"/version", &ver); err != nil {
+		fmt.Fprintf(os.Stderr, "laserload: %s unreachable: %v\n", *url, err)
+		os.Exit(1)
+	}
+	if ver.MaxSessionCycles < clientMaxCycles {
+		fmt.Fprintf(os.Stderr, "laserload: server budget %d < client cap %d; streams would diverge by design\n",
+			ver.MaxSessionCycles, clientMaxCycles)
+		os.Exit(1)
+	}
+
+	// One reference stream per seed, computed in-process up front.
+	fmt.Fprintf(os.Stderr, "laserload: computing %d reference streams\n", *seeds)
+	refs := make([][]byte, *seeds)
+	for s := 0; s < *seeds; s++ {
+		req := loadRequest(int64(s), *iters, *poll, *sav)
+		ref, err := referenceStream(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "laserload: reference seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		refs[s] = ref
+	}
+
+	lc := &loadClient{
+		url:     *url,
+		refs:    refs,
+		iters:   *iters,
+		poll:    *poll,
+		sav:     *sav,
+		timeout: *timeout,
+	}
+	fmt.Fprintf(os.Stderr, "laserload: driving %d sessions, concurrency %d\n", *sessions, *concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				lc.drive(i % len(refs))
+			}
+		}()
+	}
+	for i := 0; i < *sessions; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := lc.report(*sessions, *concurrency, *seeds, ver.CodeVersion, *url, wall)
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "laserload: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(blob)
+	if rep.Divergences > 0 || rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "laserload: FAILED: %d divergences, %d failures\n", rep.Divergences, rep.Failures)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "laserload: ok: %.1f sessions/sec, peak %d concurrent, %d events byte-identical\n",
+		rep.SessionsPerSec, rep.PeakConcurrent, rep.Events)
+}
+
+// loadRequest is the attach body every client sends for a seed.
+func loadRequest(seed int64, iters int64, poll uint64, sav int) serverd.AttachRequest {
+	maxCycles := uint64(clientMaxCycles)
+	threshold := 0.0
+	return serverd.AttachRequest{
+		Custom: &serverd.CustomImage{Threads: 2, Iters: iters, Stride: 8, Alus: 2},
+		Options: serverd.AttachOptions{
+			Seed:          &seed,
+			SAV:           &sav,
+			PollInterval:  &poll,
+			MaxCycles:     &maxCycles,
+			RateThreshold: &threshold,
+		},
+	}
+}
+
+// referenceStream runs the request in-process and returns the canonical
+// stream bytes every server-side twin must reproduce.
+func referenceStream(req serverd.AttachRequest) ([]byte, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var events []laser.Event
+	opts, _ := req.SessionOptions(clientMaxCycles)
+	opts = append(opts, laser.WithObserver(func(e laser.Event) { events = append(events, e) }))
+	sess, err := laser.Attach(req.BuildImage(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	if _, err := sess.Wait(); err != nil {
+		return nil, err
+	}
+	return serverd.EncodeStream(events), nil
+}
+
+// loadClient drives sessions and accumulates results.
+type loadClient struct {
+	url     string
+	refs    [][]byte
+	iters   int64
+	poll    uint64
+	sav     int
+	timeout time.Duration
+
+	active      atomic.Int64
+	peak        atomic.Int64
+	events      atomic.Uint64
+	retries429  atomic.Uint64
+	divergences atomic.Uint64
+	failures    atomic.Uint64
+
+	mu        sync.Mutex
+	latencies []int64 // per-delivered-frame ns
+	errs      []string
+}
+
+func (lc *loadClient) fail(format string, args ...any) {
+	lc.failures.Add(1)
+	lc.mu.Lock()
+	if len(lc.errs) < 16 {
+		lc.errs = append(lc.errs, fmt.Sprintf(format, args...))
+	}
+	lc.mu.Unlock()
+}
+
+// drive runs one full client lifecycle: attach, run, stream, verify,
+// close.
+func (lc *loadClient) drive(seed int) {
+	deadline := time.Now().Add(lc.timeout)
+	req := loadRequest(int64(seed), lc.iters, lc.poll, lc.sav)
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	if !lc.postRetry(lc.url+"/sessions", req, &created, deadline) {
+		return
+	}
+	n := lc.active.Add(1)
+	for {
+		p := lc.peak.Load()
+		if n <= p || lc.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	defer func() {
+		lc.active.Add(-1)
+		reqd, _ := http.NewRequest(http.MethodDelete, lc.url+"/sessions/"+created.ID, nil)
+		if resp, err := http.DefaultClient.Do(reqd); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	if !lc.postRetry(lc.url+"/sessions/"+created.ID+"/run", nil, nil, deadline) {
+		return
+	}
+
+	canonical, frames, err := lc.stream(created.ID)
+	if err != nil {
+		lc.fail("session %s: stream: %v", created.ID, err)
+		return
+	}
+	lc.events.Add(uint64(frames))
+	if !bytes.Equal(canonical, lc.refs[seed]) {
+		lc.divergences.Add(1)
+		lc.fail("session %s (seed %d): stream diverged: got %d bytes, want %d",
+			created.ID, seed, len(canonical), len(lc.refs[seed]))
+	}
+}
+
+// postRetry POSTs body, retrying 429s until the deadline, honoring
+// Retry-After.
+func (lc *loadClient) postRetry(url string, body any, out any, deadline time.Time) bool {
+	for {
+		var rd io.Reader
+		if body != nil {
+			blob, _ := json.Marshal(body)
+			rd = bytes.NewReader(blob)
+		}
+		resp, err := http.Post(url, "application/json", rd)
+		if err != nil {
+			lc.fail("POST %s: %v", url, err)
+			return false
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode < 300:
+			if out != nil {
+				if err := json.Unmarshal(blob, out); err != nil {
+					lc.fail("POST %s: bad body %q: %v", url, blob, err)
+					return false
+				}
+			}
+			return true
+		case resp.StatusCode == http.StatusTooManyRequests:
+			lc.retries429.Add(1)
+			wait := 100 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if time.Now().Add(wait).After(deadline) {
+				lc.fail("POST %s: still saturated at deadline", url)
+				return false
+			}
+			time.Sleep(wait)
+		default:
+			lc.fail("POST %s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(blob)))
+			return false
+		}
+	}
+}
+
+// stream follows the session's SSE stream to its end, returning the
+// canonical bytes (timestamp comments stripped) and the frame count.
+// Each ": t=<ns>" comment carries the server-side append time of the
+// following frame; the gap to the frame's receive time is the delivery
+// latency sample.
+func (lc *loadClient) stream(id string) ([]byte, int, error) {
+	resp, err := http.Get(lc.url + "/sessions/" + id + "/events?ts=1")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("GET events: %d", resp.StatusCode)
+	}
+	var canonical bytes.Buffer
+	var local []int64
+	frames := 0
+	stamp := int64(0)
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			if strings.HasPrefix(line, ": t=") {
+				stamp, _ = strconv.ParseInt(strings.TrimSpace(line[4:]), 10, 64)
+			} else {
+				canonical.WriteString(line)
+				if line == "\n" {
+					frames++
+					if stamp != 0 {
+						local = append(local, time.Now().UnixNano()-stamp)
+						stamp = 0
+					}
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	lc.mu.Lock()
+	lc.latencies = append(lc.latencies, local...)
+	lc.mu.Unlock()
+	return canonical.Bytes(), frames, nil
+}
+
+// benchReport is the BENCH_PR7.json schema.
+type benchReport struct {
+	GeneratedUnix  int64          `json:"generated_unix"`
+	URL            string         `json:"url"`
+	CodeVersion    string         `json:"code_version"`
+	Sessions       int            `json:"sessions"`
+	Concurrency    int            `json:"concurrency"`
+	Seeds          int            `json:"seeds"`
+	WallSeconds    float64        `json:"wall_seconds"`
+	SessionsPerSec float64        `json:"sessions_per_sec"`
+	PeakConcurrent int            `json:"peak_concurrent_sessions"`
+	Events         uint64         `json:"events_streamed"`
+	Retries429     uint64         `json:"retries_429"`
+	Divergences    int            `json:"divergences"`
+	Failures       int            `json:"failures"`
+	Latency        latencySummary `json:"event_delivery_latency_ns"`
+	Errors         []string       `json:"errors,omitempty"`
+}
+
+type latencySummary struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+func (lc *loadClient) report(sessions, concurrency, seeds int, codeVersion, url string, wall time.Duration) benchReport {
+	lc.mu.Lock()
+	lat := append([]int64(nil), lc.latencies...)
+	errs := append([]string(nil), lc.errs...)
+	lc.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	sum := latencySummary{Count: len(lat), P50: pct(0.50), P90: pct(0.90), P99: pct(0.99)}
+	if len(lat) > 0 {
+		sum.Max = lat[len(lat)-1]
+	}
+	return benchReport{
+		GeneratedUnix:  time.Now().Unix(),
+		URL:            url,
+		CodeVersion:    codeVersion,
+		Sessions:       sessions,
+		Concurrency:    concurrency,
+		Seeds:          seeds,
+		WallSeconds:    wall.Seconds(),
+		SessionsPerSec: float64(sessions) / wall.Seconds(),
+		PeakConcurrent: int(lc.peak.Load()),
+		Events:         lc.events.Load(),
+		Retries429:     lc.retries429.Load(),
+		Divergences:    int(lc.divergences.Load()),
+		Failures:       int(lc.failures.Load()),
+		Latency:        sum,
+		Errors:         errs,
+	}
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

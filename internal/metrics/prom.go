@@ -1,0 +1,168 @@
+package metrics
+
+// Runtime metrics for the long-lived services (laserd): counters and
+// gauges backed by atomics, collected in a Registry that encodes itself
+// in the Prometheus text exposition format. No labels, no histograms —
+// the service keys everything it needs into flat metric names, which
+// keeps the encoder trivial and the scrape output deterministic.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered series.
+type metric struct {
+	name  string
+	help  string
+	kind  string // "counter" or "gauge"
+	value func() string
+}
+
+// Registry holds a set of named metrics and renders them as Prometheus
+// text. Registration is expected at service construction; reads
+// (WritePrometheus) may run concurrently with metric updates at any
+// time.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// validName reports whether name fits the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register panics on invalid or duplicate names: both are wiring bugs,
+// caught at service construction.
+func (r *Registry) register(m metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", m.name))
+	}
+	r.metrics[m.name] = m
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{name: name, help: help, kind: "counter",
+		value: func() string { return fmt.Sprintf("%d", c.Value()) }})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(metric{name: name, help: help, kind: "gauge",
+		value: func() string { return fmt.Sprintf("%d", g.Value()) }})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time
+// — for values already maintained elsewhere (a registry size, a pool
+// depth) that would otherwise need double bookkeeping. fn must be safe
+// for concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
+	r.register(metric{name: name, help: help, kind: "gauge",
+		value: func() string { return fmt.Sprintf("%d", fn()) }})
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by name so the output
+// is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", m.name, m.kind, m.name, m.value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

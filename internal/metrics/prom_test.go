@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Counter.Value() = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("Gauge.Value() = %d, want 6", got)
+	}
+}
+
+func TestWritePrometheusFormatAndOrder(t *testing.T) {
+	r := NewRegistry()
+	// Registered out of name order on purpose: output must sort.
+	g := r.NewGauge("laserd_sessions_active", "Sessions currently attached.")
+	c := r.NewCounter("laserd_events_emitted_total", "Events appended to session logs.")
+	r.NewGaugeFunc("laserd_zz_func", "Computed at scrape time.", func() int64 { return 7 })
+	c.Add(3)
+	g.Set(-2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP laserd_events_emitted_total Events appended to session logs.
+# TYPE laserd_events_emitted_total counter
+laserd_events_emitted_total 3
+# HELP laserd_sessions_active Sessions currently attached.
+# TYPE laserd_sessions_active gauge
+laserd_sessions_active -2
+# HELP laserd_zz_func Computed at scrape time.
+# TYPE laserd_zz_func gauge
+laserd_zz_func 7
+`
+	if b.String() != want {
+		t.Fatalf("WritePrometheus output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "line one\nline two \\ backslash")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `line one\nline two \\ backslash`) {
+		t.Fatalf("HELP not escaped:\n%s", b.String())
+	}
+}
+
+func TestRegistryRejectsBadAndDuplicateNames(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ok_total", "")
+	for _, bad := range []string{"", "1leading", "has-dash", "has space", "ok_total"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %q did not panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "")
+		}()
+	}
+}
+
+// Concurrent updates racing scrapes: exercised under -race in CI.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}

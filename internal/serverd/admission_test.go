@@ -1,0 +1,107 @@
+package serverd
+
+// Admission control: the session pool and the simulation worker pool
+// are hard bounds — past either cap the server answers 429 with a
+// Retry-After header instead of degrading.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestAdmissionSessionCap(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxSessions: 2})
+	a := attachT(t, ts.URL, quickCustom(1), http.StatusCreated)
+	attachT(t, ts.URL, quickCustom(2), http.StatusCreated)
+
+	// Third attach is refused with retry advice.
+	var errBody map[string]string
+	resp := doJSON(t, http.MethodPost, ts.URL+"/sessions", quickCustom(3), &errBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("attach past cap = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.met.sessionsRejected.Value(); got != 1 {
+		t.Fatalf("sessions_rejected_total = %d, want 1", got)
+	}
+
+	// Freeing a slot readmits.
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/sessions/"+a.ID, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	attachT(t, ts.URL, quickCustom(4), http.StatusCreated)
+}
+
+func TestAdmissionWorkerSaturation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxPendingRuns: 1, MaxSessionCycles: 1 << 40})
+
+	// A long run occupies the single worker slot.
+	long := attachT(t, ts.URL, AttachRequest{
+		Custom: &CustomImage{Threads: 2, Iters: 4_000_000, Stride: 8, Alus: 8},
+	}, http.StatusCreated)
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+long.ID+"/run", nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("run = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.met.workersBusy.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("runner never took the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	other := attachT(t, ts.URL, quickCustom(8), http.StatusCreated)
+
+	// The pending-run bound refuses a second run outright.
+	var errBody map[string]string
+	resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+other.ID+"/run", nil, &errBody)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("run past pending cap = %d (Retry-After %q), want 429", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Stepping needs a worker slot too, without queueing: immediate 429.
+	resp = doJSON(t, http.MethodPost, ts.URL+"/sessions/"+other.ID+"/step", nil, &errBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("step on saturated pool = %d, want 429", resp.StatusCode)
+	}
+	if got := s.met.runsRejected.Value(); got != 2 {
+		t.Fatalf("runs_rejected_total = %d, want 2", got)
+	}
+
+	// Deleting the long session frees the slot at the next step boundary;
+	// the other session can then step.
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/sessions/"+long.ID, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+other.ID+"/step", stepRequest{Polls: 1}, nil)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("step after free = %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker slot never freed after DELETE of the running session")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStepPollsBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxStepPolls: 4})
+	st := attachT(t, ts.URL, quickCustom(6), http.StatusCreated)
+	for _, polls := range []int{0, -1, 5} {
+		resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+st.ID+"/step", stepRequest{Polls: polls}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("polls=%d -> %d, want 400", polls, resp.StatusCode)
+		}
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+st.ID+"/step", stepRequest{Polls: 4}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("polls=4 -> %d, want 200", resp.StatusCode)
+	}
+}

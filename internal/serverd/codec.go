@@ -1,0 +1,181 @@
+package serverd
+
+// The canonical wire encoding of the session event stream. One laser
+// event maps to exactly one SSE frame:
+//
+//	id: <seq>
+//	event: <Type>
+//	data: <one-line JSON>
+//	<blank>
+//
+// and a completed stream is terminated by one "eof" frame carrying the
+// event count. The encoding is deterministic — fixed field order, Go's
+// shortest-round-trip float formatting, no timestamps — so the byte
+// sequence a client receives over HTTP for a given (image, options,
+// seed) equals what EncodeStream produces from the in-process Events
+// channel of an identical session. The SSE determinism tests and
+// laserload's divergence check both lean on that equality; timestamps
+// for latency measurement travel as SSE comment lines (": t=<ns>"),
+// which are not part of the canonical bytes and are only sent when a
+// client asks for them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/laser"
+)
+
+// reportJSON is the wire form of a detection report.
+type reportJSON struct {
+	Seconds float64          `json:"seconds"`
+	Lines   []reportLineJSON `json:"lines"`
+}
+
+// reportLineJSON is one contention report line.
+type reportLineJSON struct {
+	Loc  string  `json:"loc"`
+	Rate float64 `json:"rate"`
+	TS   uint64  `json:"ts"`
+	FS   uint64  `json:"fs"`
+	Kind string  `json:"kind"`
+}
+
+// encodeReport converts a core.Report into its wire form. Lines is
+// always non-nil so an empty report renders as "lines":[].
+func encodeReport(r *core.Report) reportJSON {
+	out := reportJSON{Seconds: r.Seconds, Lines: make([]reportLineJSON, 0, len(r.Lines))}
+	for _, l := range r.Lines {
+		out.Lines = append(out.Lines, reportLineJSON{
+			Loc:  l.Loc.String(),
+			Rate: l.Rate,
+			TS:   l.TS,
+			FS:   l.FS,
+			Kind: l.Kind.String(),
+		})
+	}
+	return out
+}
+
+// Wire forms of the event payloads. Every struct leads with cycle and
+// epoch; the field order here is the canonical one.
+type sampleBatchJSON struct {
+	Cycle   uint64 `json:"cycle"`
+	Epoch   int    `json:"epoch"`
+	Records int    `json:"records"`
+	Dropped bool   `json:"dropped"`
+}
+
+type detectionReportJSON struct {
+	Cycle  uint64     `json:"cycle"`
+	Epoch  int        `json:"epoch"`
+	Report reportJSON `json:"report"`
+}
+
+type repairTriggeredJSON struct {
+	Cycle      uint64   `json:"cycle"`
+	Epoch      int      `json:"epoch"`
+	Candidates []uint64 `json:"candidates"`
+}
+
+type repairAppliedJSON struct {
+	Cycle        uint64 `json:"cycle"`
+	Epoch        int    `json:"epoch"`
+	Conservative bool   `json:"conservative"`
+}
+
+type repairDeclinedJSON struct {
+	Cycle uint64 `json:"cycle"`
+	Epoch int    `json:"epoch"`
+	Error string `json:"error"`
+}
+
+type epochEndJSON struct {
+	Cycle    uint64     `json:"cycle"`
+	Epoch    int        `json:"epoch"`
+	Repaired bool       `json:"repaired"`
+	Report   reportJSON `json:"report"`
+}
+
+// EventName returns the SSE event type for a laser event.
+func EventName(e laser.Event) string {
+	switch e.(type) {
+	case laser.SampleBatch:
+		return "SampleBatch"
+	case laser.DetectionReport:
+		return "DetectionReport"
+	case laser.RepairTriggered:
+		return "RepairTriggered"
+	case laser.RepairApplied:
+		return "RepairApplied"
+	case laser.RepairDeclined:
+		return "RepairDeclined"
+	case laser.EpochEnd:
+		return "EpochEnd"
+	default:
+		return "Event"
+	}
+}
+
+// EncodeEventData returns the canonical one-line JSON payload of a
+// laser event.
+func EncodeEventData(e laser.Event) []byte {
+	var v any
+	switch ev := e.(type) {
+	case laser.SampleBatch:
+		v = sampleBatchJSON{ev.When(), ev.Epoch(), ev.Records, ev.Dropped}
+	case laser.DetectionReport:
+		v = detectionReportJSON{ev.When(), ev.Epoch(), encodeReport(ev.Report)}
+	case laser.RepairTriggered:
+		cands := make([]uint64, 0, len(ev.Candidates))
+		for _, pc := range ev.Candidates {
+			cands = append(cands, uint64(pc))
+		}
+		v = repairTriggeredJSON{ev.When(), ev.Epoch(), cands}
+	case laser.RepairApplied:
+		v = repairAppliedJSON{ev.When(), ev.Epoch(), ev.Conservative}
+	case laser.RepairDeclined:
+		v = repairDeclinedJSON{ev.When(), ev.Epoch(), ev.Err.Error()}
+	case laser.EpochEnd:
+		v = epochEndJSON{ev.When(), ev.Epoch(), ev.Repaired, encodeReport(ev.Report)}
+	default:
+		v = struct {
+			Cycle uint64 `json:"cycle"`
+			Epoch int    `json:"epoch"`
+		}{e.When(), e.Epoch()}
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The payload structs contain nothing json.Marshal can reject.
+		panic(fmt.Sprintf("serverd: event encoding failed: %v", err))
+	}
+	return data
+}
+
+// EncodeFrame renders the canonical SSE frame for event number seq.
+func EncodeFrame(seq uint64, e laser.Event) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "id: %d\nevent: %s\ndata: %s\n\n", seq, EventName(e), EncodeEventData(e))
+	return b.Bytes()
+}
+
+// EncodeEOF renders the terminal frame of a completed stream: its id is
+// the total event count (one past the last event's seq).
+func EncodeEOF(total uint64) []byte {
+	return []byte(fmt.Sprintf("id: %d\nevent: eof\ndata: {\"events\":%d}\n\n", total, total))
+}
+
+// EncodeStream renders the canonical byte sequence of a whole completed
+// session stream: every event frame in order, then the eof frame. This
+// is the in-process reference the SSE determinism tests and laserload
+// compare server-delivered bytes against.
+func EncodeStream(events []laser.Event) []byte {
+	var b bytes.Buffer
+	for i, e := range events {
+		b.Write(EncodeFrame(uint64(i), e))
+	}
+	b.Write(EncodeEOF(uint64(len(events))))
+	return b.Bytes()
+}

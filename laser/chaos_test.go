@@ -99,6 +99,119 @@ func TestSessionContainsWorkloadPanic(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// Close racing a live Run(ctx) from another goroutine — the laserd
+// DELETE-while-running path — must be race-free and idempotent: the
+// driving goroutine observes ErrClosed at its next step boundary, and
+// no goroutine survives.
+func TestSessionCloseRacesRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := laser.Attach(spinImage(5_000_000), laser.WithIntraRunParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Run(context.Background())
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	// Several concurrent closers: idempotence under the race, not just
+	// in sequence.
+	for i := 0; i < 4; i++ {
+		go s.Close()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, laser.ErrClosed) {
+			t.Fatalf("Run() after concurrent Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run() did not return after concurrent Close")
+	}
+	waitGoroutines(t, base)
+}
+
+// An abandoned session — events queued on the Events channel, consumer
+// gone — is what a TTL reaper finds. Close would wait forever for the
+// vanished consumer to drain; Detach must discard the queue, close the
+// channel, and leave no goroutine behind.
+func TestSessionDetachAbandonedConsumer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := laser.Attach(spinImage(300_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := s.Events() // registered, never drained: events pile up queued
+	if _, err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	// The channel must close promptly even though nothing was consumed.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				waitGoroutines(t, base)
+				return
+			}
+			// A straggler the pump had already committed to sending is
+			// fine; keep draining until the close.
+		case <-deadline:
+			t.Fatal("Events channel still open after Detach")
+		}
+	}
+}
+
+// Detach must also release a stream that was first closed gracefully
+// but whose consumer never drained it — the Close-then-reap sequence.
+func TestSessionDetachAfterClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := laser.Attach(spinImage(300_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Events()
+	if _, err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // graceful: queue retained for a consumer
+		t.Fatal(err)
+	}
+	if err := s.Detach(); err != nil { // reaper: consumer never came
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}
+
+// An observer-only session (laserd's shape: events captured by callback,
+// Events never called) must leave nothing behind after Close regardless
+// of how it ended.
+func TestSessionObserverOnlyNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	n := 0
+	s, err := laser.Attach(spinImage(300_000),
+		laser.WithObserver(func(laser.Event) { n++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}
+
 // Cancelling Run's context mid-run must return the context error with a
 // partial result and leave no goroutine behind — the intra-run worker
 // pool is joined at every RunFor slice boundary.

@@ -118,17 +118,21 @@ func (e EpochEnd) String() string {
 // eventStream adapts synchronous observer callbacks to a channel without
 // ever blocking the session: events queue without bound and a pump
 // goroutine forwards them. close drains the queue and then closes the
-// channel.
+// channel; abort discards whatever is still queued and closes the
+// channel immediately, so a stream whose consumer vanished (an
+// abandoned server session) never strands the pump goroutine.
 type eventStream struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Event
-	closed bool
-	ch     chan Event
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Event
+	closed  bool
+	aborted bool
+	dead    chan struct{} // closed by abort: unblocks a pump stuck sending
+	ch      chan Event
 }
 
 func newEventStream() *eventStream {
-	s := &eventStream{ch: make(chan Event)}
+	s := &eventStream{ch: make(chan Event), dead: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	go s.pump()
 	return s
@@ -149,7 +153,7 @@ func (s *eventStream) pump() {
 		for len(s.queue) == 0 && !s.closed {
 			s.cond.Wait()
 		}
-		if len(s.queue) == 0 {
+		if s.aborted || len(s.queue) == 0 {
 			s.mu.Unlock()
 			close(s.ch)
 			return
@@ -157,13 +161,33 @@ func (s *eventStream) pump() {
 		e := s.queue[0]
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
-		s.ch <- e
+		select {
+		case s.ch <- e:
+		case <-s.dead:
+			close(s.ch)
+			return
+		}
 	}
 }
 
 func (s *eventStream) close() {
 	s.mu.Lock()
 	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// abort closes the stream without waiting for a consumer: queued events
+// are dropped, a pump blocked mid-send is released, and the channel
+// closes. Idempotent, and safe after close.
+func (s *eventStream) abort() {
+	s.mu.Lock()
+	if !s.aborted {
+		s.aborted = true
+		s.closed = true
+		s.queue = nil
+		close(s.dead)
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -63,13 +65,22 @@ type EpochReport struct {
 // trigger repair again (up to the epoch budget); each epoch's windowed
 // report and monitoring cost land in Result.Epochs.
 //
-// A Session is not safe for concurrent use: drive it from one goroutine.
-// The Events channel may be consumed from any goroutine.
+// A Session is not safe for fully concurrent use: drive it (Step, Run,
+// RunFor, Wait, snapshots) from one goroutine at a time. Three things
+// are safe from any goroutine, because a server hosting many sessions
+// needs them to be: the Events channel may be consumed anywhere,
+// Events itself may be called anywhere, and Close/Detach may race an
+// in-flight Run or Step — the driving goroutine observes ErrClosed at
+// its next step boundary, and both remain idempotent.
 type Session struct {
 	cfg                Config
 	monitorAfterRepair bool
-	observers          []func(Event)
-	stream             *eventStream
+
+	// obsMu guards observers and stream: Events and Close/Detach may be
+	// called from goroutines other than the driving one.
+	obsMu     sync.Mutex
+	observers []func(Event)
+	stream    *eventStream
 
 	img  *workload.Image
 	m    *machine.Machine
@@ -80,7 +91,7 @@ type Session struct {
 
 	next   uint64 // next poll deadline (simulated cycles)
 	done   bool
-	closed bool
+	closed atomic.Bool
 
 	epoch      int
 	epochStart float64      // seconds at the current epoch's start
@@ -219,13 +230,16 @@ func newSession(img *workload.Image, st settings) (*Session, error) {
 
 // Events returns the session's event channel. The channel never blocks
 // the session (events queue internally without bound) and is closed by
-// Close; consume it until closed. Repeated calls return the same
-// channel.
+// Close; consume it until closed, or end the session with Detach if the
+// consumer may abandon it. Repeated calls return the same channel, and
+// Events may be called from any goroutine.
 func (s *Session) Events() <-chan Event {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	if s.stream == nil {
 		s.stream = newEventStream()
 		s.observers = append(s.observers, s.stream.push)
-		if s.closed {
+		if s.closed.Load() {
 			s.stream.close()
 		}
 	}
@@ -234,7 +248,10 @@ func (s *Session) Events() <-chan Event {
 
 // emit delivers an event to every observer, synchronously and in order.
 func (s *Session) emit(e Event) {
-	for _, fn := range s.observers {
+	s.obsMu.Lock()
+	obs := s.observers
+	s.obsMu.Unlock()
+	for _, fn := range obs {
 		fn(e)
 	}
 }
@@ -295,7 +312,7 @@ func (s *Session) EpochSnapshotInto(dst *core.Report) {
 // and either way the session turns terminal — the error is returned,
 // the panic never unwinds into the caller, and no goroutine leaks.
 func (s *Session) Step() (done bool, err error) {
-	if s.closed {
+	if s.closed.Load() {
 		return true, ErrClosed
 	}
 	if s.done {
@@ -380,15 +397,41 @@ func (s *Session) Result() (*Result, error) {
 // delivering anything still queued) and further Steps fail with
 // ErrClosed. Closing neither aborts nor completes the simulated
 // workload; a session may be closed at any point, and Close is
-// idempotent.
+// idempotent. Close may be called from any goroutine, including while
+// another drives Run or Step: the driver sees ErrClosed at its next
+// step boundary.
+//
+// Close waits for nobody, but delivery of already-queued events to the
+// Events channel does: a consumer that stops receiving before the
+// channel closes strands the queued tail (and its pump goroutine). When
+// the consumer cannot be trusted to drain — a network client that
+// disconnected, a TTL-reaped server session — use Detach instead.
 func (s *Session) Close() error {
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
+	s.obsMu.Lock()
 	if s.stream != nil {
 		s.stream.close()
 	}
+	s.obsMu.Unlock()
+	return nil
+}
+
+// Detach ends the session like Close but discards events still queued
+// for the Events channel instead of waiting for a consumer to drain
+// them: the channel closes immediately and no goroutine is left behind,
+// even when nobody is receiving. It is the right close for a session
+// whose observer has gone away — laserd's TTL reaper uses it. Detach is
+// idempotent, safe from any goroutine, and also releases a stream
+// already closed gracefully but never drained.
+func (s *Session) Detach() error {
+	s.closed.Store(true)
+	s.obsMu.Lock()
+	if s.stream != nil {
+		s.stream.abort()
+	}
+	s.obsMu.Unlock()
 	return nil
 }
 
