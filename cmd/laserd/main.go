@@ -10,10 +10,24 @@
 //
 //	laserd [-addr :8347] [-max-sessions N] [-workers N]
 //	       [-max-pending-runs N] [-idle-ttl D] [-max-session-cycles N]
-//	       [-max-event-backlog N]
+//	       [-max-event-backlog N] [-state-dir DIR]
+//	       [-checkpoint-events N] [-checkpoint-cycles N]
+//
+// With -state-dir the daemon is crash-safe: every session journals its
+// attach request, event frames and periodic whole-machine checkpoints
+// there, and a restarted daemon re-attaches every journaled session
+// from its latest valid checkpoint — resuming runs that were executing
+// and letting SSE clients continue with Last-Event-ID across the
+// restart. Journals that cannot be restored are quarantined under
+// <state-dir>/quarantine with a REASON file rather than failing boot.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight HTTP
-// requests finish, running sessions park, and every session detaches.
+// requests finish, running sessions park (checkpointed first when
+// durable), and every session detaches.
+//
+// LASER_FAULT_PLAN arms the deterministic fault-injection plan (see
+// internal/faultinject) — the chaos-restart CI job uses it to fail
+// journal writes and corrupt checkpoint reads on cue.
 package main
 
 import (
@@ -27,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/runcache"
 	"repro/internal/serverd"
 )
@@ -39,16 +54,34 @@ func main() {
 	idleTTL := flag.Duration("idle-ttl", 0, "idle session reap TTL (0 = default 2m)")
 	maxCycles := flag.Uint64("max-session-cycles", 0, "per-session simulated-cycle budget (0 = default 200M)")
 	maxBacklog := flag.Int("max-event-backlog", 0, "per-session retained event frame cap (0 = default 65536)")
+	stateDir := flag.String("state-dir", "", "session journal directory; empty disables durability")
+	ckptEvents := flag.Int("checkpoint-events", 0, "checkpoint cadence in emitted events (0 = default 256)")
+	ckptCycles := flag.Uint64("checkpoint-cycles", 0, "checkpoint cadence in simulated cycles (0 = default 25M)")
 	flag.Parse()
 
-	srv := serverd.New(serverd.Config{
+	if spec := os.Getenv("LASER_FAULT_PLAN"); spec != "" {
+		plan, err := faultinject.Parse(spec)
+		if err != nil {
+			log.Fatalf("laserd: %v", err)
+		}
+		faultinject.Enable(plan)
+		log.Printf("laserd: fault plan armed: %s", plan)
+	}
+
+	srv, err := serverd.New(serverd.Config{
 		MaxSessions:      *maxSessions,
 		Workers:          *workers,
 		MaxPendingRuns:   *maxPending,
 		IdleTTL:          *idleTTL,
 		MaxSessionCycles: *maxCycles,
 		MaxEventBacklog:  *maxBacklog,
+		StateDir:         *stateDir,
+		CheckpointEvents: *ckptEvents,
+		CheckpointCycles: *ckptCycles,
 	})
+	if err != nil {
+		log.Fatalf("laserd: %v", err)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})

@@ -4,8 +4,20 @@
 // in-process reference session built from the identical attach request
 // — the determinism contract means any divergence is a server bug, and
 // laserload exits non-zero on one. 429 responses are retried honoring
-// Retry-After, so the harness also exercises admission control without
-// failing on it.
+// Retry-After (with jitter, so a fleet of rejected clients does not
+// return in lockstep), and failures are attributed per phase — attach,
+// run, stream, delete — in both the JSON report and the exit summary.
+//
+// With -daemon PATH laserload spawns its own laserd and, with
+// -chaos-restart N, SIGKILLs and reboots it N times mid-load. Clients
+// ride through each crash: connection errors retry until the per-
+// session deadline, and the stream reader reconnects with the standard
+// Last-Event-ID header, committing only completed frames — so the
+// bytes a client accumulates across any number of crashes must still
+// equal the reference stream exactly. The daemon runs with -state-dir,
+// and each reboot's recovery counts (from /healthz) accumulate into
+// the report; zero stream divergence across restarts is the durable-
+// session acceptance claim, machine-checked.
 //
 // The summary — sessions/sec, peak concurrency, and event-delivery
 // latency percentiles (frame receive time minus the server's append
@@ -15,6 +27,8 @@
 //
 //	laserload [-url http://127.0.0.1:8347] [-sessions 120]
 //	          [-concurrency 120] [-seeds 8] [-out BENCH_PR7.json]
+//	          [-daemon ./laserd] [-daemon-addr 127.0.0.1:18351]
+//	          [-state-dir DIR] [-chaos-restart N]
 package main
 
 import (
@@ -24,13 +38,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/serverd"
@@ -44,7 +61,7 @@ import (
 const clientMaxCycles = 50_000_000
 
 func main() {
-	url := flag.String("url", "http://127.0.0.1:8347", "laserd base URL")
+	url := flag.String("url", "http://127.0.0.1:8347", "laserd base URL (ignored with -daemon)")
 	sessions := flag.Int("sessions", 120, "total sessions to drive")
 	concurrency := flag.Int("concurrency", 120, "concurrent client goroutines")
 	seeds := flag.Int("seeds", 8, "distinct session seeds (and reference streams)")
@@ -53,10 +70,42 @@ func main() {
 	sav := flag.Int("sav", 2, "PEBS sample-after value")
 	out := flag.String("out", "BENCH_PR7.json", "benchmark report output path")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-session deadline")
+	daemon := flag.String("daemon", "", "laserd binary to spawn (required for -chaos-restart)")
+	daemonAddr := flag.String("daemon-addr", "127.0.0.1:18351", "listen address for the spawned daemon")
+	stateDir := flag.String("state-dir", "", "state dir for the spawned daemon (default: a temp dir)")
+	ckptEvents := flag.Int("checkpoint-events", 8, "spawned daemon's checkpoint cadence in events")
+	restarts := flag.Int("chaos-restart", 0, "SIGKILL and reboot the spawned daemon this many times mid-load")
 	flag.Parse()
 	if *sessions < 1 || *concurrency < 1 || *seeds < 1 {
 		fmt.Fprintln(os.Stderr, "laserload: -sessions, -concurrency, -seeds must be positive")
 		os.Exit(2)
+	}
+	if *restarts > 0 && *daemon == "" {
+		fmt.Fprintln(os.Stderr, "laserload: -chaos-restart needs -daemon (laserload must own the process it kills)")
+		os.Exit(2)
+	}
+
+	var dc *daemonCtl
+	if *daemon != "" {
+		dir := *stateDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "laserload-state-*"); err != nil {
+				fmt.Fprintf(os.Stderr, "laserload: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+		}
+		dc = &daemonCtl{
+			path: *daemon, addr: *daemonAddr, stateDir: dir,
+			url: "http://" + *daemonAddr, ckptEvents: *ckptEvents,
+		}
+		if err := dc.start(); err != nil {
+			fmt.Fprintf(os.Stderr, "laserload: %v\n", err)
+			os.Exit(1)
+		}
+		defer dc.stop()
+		*url = dc.url
 	}
 
 	// The server must exist and its budget must not clamp below ours,
@@ -95,6 +144,7 @@ func main() {
 		poll:    *poll,
 		sav:     *sav,
 		timeout: *timeout,
+		chaos:   *restarts > 0,
 	}
 	fmt.Fprintf(os.Stderr, "laserload: driving %d sessions, concurrency %d\n", *sessions, *concurrency)
 	start := time.Now()
@@ -109,14 +159,38 @@ func main() {
 			}
 		}()
 	}
+
+	// The chaos goroutine waits for the stream mill to turn, then yanks
+	// the daemon out from under it and reboots.
+	loadDone := make(chan struct{})
+	var chaos chaosStats
+	var chaosWG sync.WaitGroup
+	if *restarts > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			chaos.run(dc, lc, *restarts, loadDone)
+		}()
+	}
+
 	for i := 0; i < *sessions; i++ {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
+	close(loadDone)
+	chaosWG.Wait()
 	wall := time.Since(start)
 
 	rep := lc.report(*sessions, *concurrency, *seeds, ver.CodeVersion, *url, wall)
+	rep.RestartsInjected = chaos.injected
+	rep.SessionsRecovered = chaos.recovered
+	rep.SessionsQuarantined = chaos.quarantined
+	if chaos.fatal != "" {
+		lc.fail(&lc.failStream, "chaos: %s", chaos.fatal)
+		rep.Failures++
+		rep.FailuresByPhase = lc.phases()
+	}
 	blob, _ := json.MarshalIndent(rep, "", "  ")
 	blob = append(blob, '\n')
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
@@ -125,11 +199,106 @@ func main() {
 	}
 	os.Stdout.Write(blob)
 	if rep.Divergences > 0 || rep.Failures > 0 {
-		fmt.Fprintf(os.Stderr, "laserload: FAILED: %d divergences, %d failures\n", rep.Divergences, rep.Failures)
+		p := rep.FailuresByPhase
+		fmt.Fprintf(os.Stderr, "laserload: FAILED: divergences=%d attach=%d run=%d stream=%d delete=%d\n",
+			rep.Divergences, p["attach"], p["run"], p["stream"], p["delete"])
 		os.Exit(1)
+	}
+	if *restarts > 0 {
+		fmt.Fprintf(os.Stderr, "laserload: ok: %d restarts injected, %d sessions recovered, %d quarantined, zero divergence\n",
+			rep.RestartsInjected, rep.SessionsRecovered, rep.SessionsQuarantined)
 	}
 	fmt.Fprintf(os.Stderr, "laserload: ok: %.1f sessions/sec, peak %d concurrent, %d events byte-identical\n",
 		rep.SessionsPerSec, rep.PeakConcurrent, rep.Events)
+}
+
+// daemonCtl owns a spawned laserd process across kills and reboots.
+type daemonCtl struct {
+	path       string
+	addr       string
+	url        string
+	stateDir   string
+	ckptEvents int
+
+	cmd *exec.Cmd
+}
+
+// start spawns the daemon and waits for /healthz — which a durable
+// daemon answers only after recovery has finished.
+func (d *daemonCtl) start() error {
+	cmd := exec.Command(d.path, "-addr", d.addr, "-state-dir", d.stateDir,
+		"-checkpoint-events", strconv.Itoa(d.ckptEvents))
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn %s: %w", d.path, err)
+	}
+	d.cmd = cmd
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var hb struct {
+			Status string `json:"status"`
+		}
+		if err := getJSON(d.url+"/healthz", &hb); err == nil && hb.Status == "ok" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon on %s not healthy after 30s", d.addr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// kill is the crash: SIGKILL, no goodbye.
+func (d *daemonCtl) kill() {
+	if d.cmd != nil && d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// stop is the graceful exit used at teardown.
+func (d *daemonCtl) stop() {
+	if d.cmd != nil && d.cmd.Process != nil {
+		d.cmd.Process.Signal(syscall.SIGTERM)
+		d.cmd.Wait()
+	}
+}
+
+// chaosStats drives and tallies the restart schedule.
+type chaosStats struct {
+	injected    int
+	recovered   uint64
+	quarantined uint64
+	fatal       string
+}
+
+func (c *chaosStats) run(dc *daemonCtl, lc *loadClient, restarts int, loadDone <-chan struct{}) {
+	for r := 0; r < restarts; r++ {
+		// Wait until clients have streamed visibly more frames since the
+		// last reboot, so every kill lands mid-delivery.
+		base := lc.events.Load()
+		for lc.events.Load() < base+20 {
+			select {
+			case <-loadDone:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		dc.kill()
+		if err := dc.start(); err != nil {
+			c.fatal = err.Error()
+			return
+		}
+		c.injected++
+		var hb struct {
+			Recovered   uint64 `json:"sessions_recovered"`
+			Quarantined uint64 `json:"sessions_quarantined"`
+		}
+		if err := getJSON(dc.url+"/healthz", &hb); err == nil {
+			c.recovered += hb.Recovered
+			c.quarantined += hb.Quarantined
+		}
+	}
 }
 
 // loadRequest is the attach body every client sends for a seed.
@@ -176,26 +345,42 @@ type loadClient struct {
 	poll    uint64
 	sav     int
 	timeout time.Duration
+	chaos   bool // retry connection errors: the server crashes on purpose
 
 	active      atomic.Int64
 	peak        atomic.Int64
 	events      atomic.Uint64
 	retries429  atomic.Uint64
+	retriesConn atomic.Uint64
 	divergences atomic.Uint64
-	failures    atomic.Uint64
+
+	// Failures attributed to the client phase that observed them.
+	failAttach atomic.Uint64
+	failRun    atomic.Uint64
+	failStream atomic.Uint64
+	failDelete atomic.Uint64
 
 	mu        sync.Mutex
 	latencies []int64 // per-delivered-frame ns
 	errs      []string
 }
 
-func (lc *loadClient) fail(format string, args ...any) {
-	lc.failures.Add(1)
+func (lc *loadClient) fail(phase *atomic.Uint64, format string, args ...any) {
+	phase.Add(1)
 	lc.mu.Lock()
 	if len(lc.errs) < 16 {
 		lc.errs = append(lc.errs, fmt.Sprintf(format, args...))
 	}
 	lc.mu.Unlock()
+}
+
+func (lc *loadClient) phases() map[string]uint64 {
+	return map[string]uint64{
+		"attach": lc.failAttach.Load(),
+		"run":    lc.failRun.Load(),
+		"stream": lc.failStream.Load(),
+		"delete": lc.failDelete.Load(),
+	}
 }
 
 // drive runs one full client lifecycle: attach, run, stream, verify,
@@ -207,7 +392,7 @@ func (lc *loadClient) drive(seed int) {
 	var created struct {
 		ID string `json:"id"`
 	}
-	if !lc.postRetry(lc.url+"/sessions", req, &created, deadline) {
+	if !lc.postRetry("attach", &lc.failAttach, lc.url+"/sessions", req, &created, deadline) {
 		return
 	}
 	n := lc.active.Add(1)
@@ -219,33 +404,64 @@ func (lc *loadClient) drive(seed int) {
 	}
 	defer func() {
 		lc.active.Add(-1)
-		reqd, _ := http.NewRequest(http.MethodDelete, lc.url+"/sessions/"+created.ID, nil)
-		if resp, err := http.DefaultClient.Do(reqd); err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
+		lc.deleteSession(created.ID, deadline)
 	}()
 
-	if !lc.postRetry(lc.url+"/sessions/"+created.ID+"/run", nil, nil, deadline) {
+	// A 409 means the session is already running — the reply to an
+	// earlier run attempt was lost in a crash, but the run itself was
+	// durable and resumed. That is success, not failure.
+	if !lc.postRetry("run", &lc.failRun, lc.url+"/sessions/"+created.ID+"/run", nil, nil, deadline) {
 		return
 	}
 
-	canonical, frames, err := lc.stream(created.ID)
+	canonical, frames, err := lc.stream(created.ID, deadline)
 	if err != nil {
-		lc.fail("session %s: stream: %v", created.ID, err)
+		lc.fail(&lc.failStream, "session %s: stream: %v", created.ID, err)
 		return
 	}
 	lc.events.Add(uint64(frames))
 	if !bytes.Equal(canonical, lc.refs[seed]) {
 		lc.divergences.Add(1)
-		lc.fail("session %s (seed %d): stream diverged: got %d bytes, want %d",
+		lc.fail(&lc.failStream, "session %s (seed %d): stream diverged: got %d bytes, want %d",
 			created.ID, seed, len(canonical), len(lc.refs[seed]))
 	}
 }
 
-// postRetry POSTs body, retrying 429s until the deadline, honoring
-// Retry-After.
-func (lc *loadClient) postRetry(url string, body any, out any, deadline time.Time) bool {
+// deleteSession closes the server-side session, riding through a crash
+// window in chaos mode. 404 counts as success: the session is gone.
+func (lc *loadClient) deleteSession(id string, deadline time.Time) {
+	for {
+		reqd, _ := http.NewRequest(http.MethodDelete, lc.url+"/sessions/"+id, nil)
+		resp, err := http.DefaultClient.Do(reqd)
+		if err != nil {
+			if lc.chaos && time.Now().Before(deadline) {
+				lc.retriesConn.Add(1)
+				time.Sleep(jitter(200 * time.Millisecond))
+				continue
+			}
+			lc.fail(&lc.failDelete, "DELETE %s: %v", id, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusNotFound {
+			return
+		}
+		lc.fail(&lc.failDelete, "DELETE %s: %d", id, resp.StatusCode)
+		return
+	}
+}
+
+// jitter spreads wait over [0.5, 1.5) of itself so retried clients do
+// not stampede back in lockstep.
+func jitter(wait time.Duration) time.Duration {
+	return time.Duration(float64(wait) * (0.5 + rand.Float64()))
+}
+
+// postRetry POSTs body, retrying 429s until the deadline honoring
+// Retry-After (jittered), and — in chaos mode — retrying connection
+// errors while the daemon reboots.
+func (lc *loadClient) postRetry(phase string, counter *atomic.Uint64, url string, body any, out any, deadline time.Time) bool {
 	for {
 		var rd io.Reader
 		if body != nil {
@@ -254,7 +470,12 @@ func (lc *loadClient) postRetry(url string, body any, out any, deadline time.Tim
 		}
 		resp, err := http.Post(url, "application/json", rd)
 		if err != nil {
-			lc.fail("POST %s: %v", url, err)
+			if lc.chaos && time.Now().Before(deadline) {
+				lc.retriesConn.Add(1)
+				time.Sleep(jitter(200 * time.Millisecond))
+				continue
+			}
+			lc.fail(counter, "POST %s: %v", url, err)
 			return false
 		}
 		blob, _ := io.ReadAll(resp.Body)
@@ -263,10 +484,13 @@ func (lc *loadClient) postRetry(url string, body any, out any, deadline time.Tim
 		case resp.StatusCode < 300:
 			if out != nil {
 				if err := json.Unmarshal(blob, out); err != nil {
-					lc.fail("POST %s: bad body %q: %v", url, blob, err)
+					lc.fail(counter, "POST %s: bad body %q: %v", url, blob, err)
 					return false
 				}
 			}
+			return true
+		case resp.StatusCode == http.StatusConflict && lc.chaos && phase == "run":
+			// The run reply was lost in a crash but the run is resumed.
 			return true
 		case resp.StatusCode == http.StatusTooManyRequests:
 			lc.retries429.Add(1)
@@ -276,83 +500,156 @@ func (lc *loadClient) postRetry(url string, body any, out any, deadline time.Tim
 					wait = time.Duration(secs) * time.Second
 				}
 			}
+			wait = jitter(wait)
 			if time.Now().Add(wait).After(deadline) {
-				lc.fail("POST %s: still saturated at deadline", url)
+				lc.fail(counter, "POST %s: still saturated at deadline", url)
 				return false
 			}
 			time.Sleep(wait)
 		default:
-			lc.fail("POST %s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(blob)))
+			lc.fail(counter, "POST %s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(blob)))
 			return false
 		}
 	}
 }
 
-// stream follows the session's SSE stream to its end, returning the
-// canonical bytes (timestamp comments stripped) and the frame count.
-// Each ": t=<ns>" comment carries the server-side append time of the
-// following frame; the gap to the frame's receive time is the delivery
-// latency sample.
-func (lc *loadClient) stream(id string) ([]byte, int, error) {
-	resp, err := http.Get(lc.url + "/sessions/" + id + "/events?ts=1")
+// streamState accumulates one session's stream across connections.
+type streamState struct {
+	canonical bytes.Buffer
+	latencies []int64
+	frames    int
+	lastID    int64 // id of the last committed frame, -1 before any
+	sawEOF    bool
+}
+
+// stream follows the session's SSE stream to its eof frame, returning
+// the canonical bytes (timestamp comments stripped) and the frame
+// count. Only completed frames are committed; a connection lost
+// mid-frame drops the partial bytes and reconnects with Last-Event-ID,
+// so the accumulated bytes stay canonical across any number of server
+// crashes. Each ": t=<ns>" comment carries the server-side append time
+// of the following frame; the gap to the frame's receive time is the
+// delivery latency sample.
+func (lc *loadClient) stream(id string, deadline time.Time) ([]byte, int, error) {
+	st := &streamState{lastID: -1}
+	for !st.sawEOF {
+		err := lc.streamOnce(id, st)
+		if st.sawEOF {
+			break
+		}
+		if !lc.chaos {
+			if err != nil {
+				return nil, 0, err
+			}
+			// Stream ended without the eof frame and without an error:
+			// the pre-durability server closed it at shutdown. Nothing
+			// exact left to read.
+			break
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("no eof frame by deadline")
+			}
+			return nil, 0, err
+		}
+		lc.retriesConn.Add(1)
+		time.Sleep(jitter(200 * time.Millisecond))
+	}
+	lc.mu.Lock()
+	lc.latencies = append(lc.latencies, st.latencies...)
+	lc.mu.Unlock()
+	return st.canonical.Bytes(), st.frames, nil
+}
+
+// streamOnce follows one SSE connection, committing completed frames
+// into st. Returns nil on clean EOF (terminal or not — st.sawEOF says
+// which) and the transport error otherwise.
+func (lc *loadClient) streamOnce(id string, st *streamState) error {
+	req, err := http.NewRequest(http.MethodGet, lc.url+"/sessions/"+id+"/events?ts=1", nil)
 	if err != nil {
-		return nil, 0, err
+		return err
+	}
+	if st.lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(st.lastID, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("GET events: %d", resp.StatusCode)
+		return fmt.Errorf("GET events: %d", resp.StatusCode)
 	}
-	var canonical bytes.Buffer
-	var local []int64
-	frames := 0
+	var frame bytes.Buffer
+	frameID := int64(-1)
 	stamp := int64(0)
+	isEOF := false
 	br := bufio.NewReader(resp.Body)
 	for {
 		line, err := br.ReadString('\n')
-		if line != "" {
-			if strings.HasPrefix(line, ": t=") {
+		if strings.HasSuffix(line, "\n") { // ignore torn partial lines
+			switch {
+			case strings.HasPrefix(line, ": t="):
 				stamp, _ = strconv.ParseInt(strings.TrimSpace(line[4:]), 10, 64)
-			} else {
-				canonical.WriteString(line)
-				if line == "\n" {
-					frames++
+			default:
+				frame.WriteString(line)
+				if strings.HasPrefix(line, "id: ") {
+					frameID, _ = strconv.ParseInt(strings.TrimSpace(line[4:]), 10, 64)
+				}
+				if line == "event: eof\n" {
+					isEOF = true
+				}
+				if line == "\n" { // blank line: the frame is complete
+					frame.WriteTo(&st.canonical)
+					frame.Reset()
+					st.frames++
+					lc.events.Add(1)
+					if frameID >= 0 {
+						st.lastID = frameID
+						frameID = -1
+					}
 					if stamp != 0 {
-						local = append(local, time.Now().UnixNano()-stamp)
+						st.latencies = append(st.latencies, time.Now().UnixNano()-stamp)
 						stamp = 0
+					}
+					if isEOF {
+						st.sawEOF = true
+						return nil
 					}
 				}
 			}
 		}
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 	}
-	lc.mu.Lock()
-	lc.latencies = append(lc.latencies, local...)
-	lc.mu.Unlock()
-	return canonical.Bytes(), frames, nil
 }
 
 // benchReport is the BENCH_PR7.json schema.
 type benchReport struct {
-	GeneratedUnix  int64          `json:"generated_unix"`
-	URL            string         `json:"url"`
-	CodeVersion    string         `json:"code_version"`
-	Sessions       int            `json:"sessions"`
-	Concurrency    int            `json:"concurrency"`
-	Seeds          int            `json:"seeds"`
-	WallSeconds    float64        `json:"wall_seconds"`
-	SessionsPerSec float64        `json:"sessions_per_sec"`
-	PeakConcurrent int            `json:"peak_concurrent_sessions"`
-	Events         uint64         `json:"events_streamed"`
-	Retries429     uint64         `json:"retries_429"`
-	Divergences    int            `json:"divergences"`
-	Failures       int            `json:"failures"`
-	Latency        latencySummary `json:"event_delivery_latency_ns"`
-	Errors         []string       `json:"errors,omitempty"`
+	GeneratedUnix       int64             `json:"generated_unix"`
+	URL                 string            `json:"url"`
+	CodeVersion         string            `json:"code_version"`
+	Sessions            int               `json:"sessions"`
+	Concurrency         int               `json:"concurrency"`
+	Seeds               int               `json:"seeds"`
+	WallSeconds         float64           `json:"wall_seconds"`
+	SessionsPerSec      float64           `json:"sessions_per_sec"`
+	PeakConcurrent      int               `json:"peak_concurrent_sessions"`
+	Events              uint64            `json:"events_streamed"`
+	Retries429          uint64            `json:"retries_429"`
+	RetriesConn         uint64            `json:"retries_conn"`
+	Divergences         int               `json:"divergences"`
+	Failures            int               `json:"failures"`
+	FailuresByPhase     map[string]uint64 `json:"failures_by_phase"`
+	RestartsInjected    int               `json:"restarts_injected"`
+	SessionsRecovered   uint64            `json:"sessions_recovered"`
+	SessionsQuarantined uint64            `json:"sessions_quarantined"`
+	Latency             latencySummary    `json:"event_delivery_latency_ns"`
+	Errors              []string          `json:"errors,omitempty"`
 }
 
 type latencySummary struct {
@@ -380,22 +677,29 @@ func (lc *loadClient) report(sessions, concurrency, seeds int, codeVersion, url 
 	if len(lat) > 0 {
 		sum.Max = lat[len(lat)-1]
 	}
+	phases := lc.phases()
+	failures := 0
+	for _, n := range phases {
+		failures += int(n)
+	}
 	return benchReport{
-		GeneratedUnix:  time.Now().Unix(),
-		URL:            url,
-		CodeVersion:    codeVersion,
-		Sessions:       sessions,
-		Concurrency:    concurrency,
-		Seeds:          seeds,
-		WallSeconds:    wall.Seconds(),
-		SessionsPerSec: float64(sessions) / wall.Seconds(),
-		PeakConcurrent: int(lc.peak.Load()),
-		Events:         lc.events.Load(),
-		Retries429:     lc.retries429.Load(),
-		Divergences:    int(lc.divergences.Load()),
-		Failures:       int(lc.failures.Load()),
-		Latency:        sum,
-		Errors:         errs,
+		GeneratedUnix:   time.Now().Unix(),
+		URL:             url,
+		CodeVersion:     codeVersion,
+		Sessions:        sessions,
+		Concurrency:     concurrency,
+		Seeds:           seeds,
+		WallSeconds:     wall.Seconds(),
+		SessionsPerSec:  float64(sessions) / wall.Seconds(),
+		PeakConcurrent:  int(lc.peak.Load()),
+		Events:          lc.events.Load(),
+		Retries429:      lc.retries429.Load(),
+		RetriesConn:     lc.retriesConn.Load(),
+		Divergences:     int(lc.divergences.Load()),
+		Failures:        failures,
+		FailuresByPhase: phases,
+		Latency:         sum,
+		Errors:          errs,
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 
 	"repro/internal/isa"
@@ -92,3 +93,104 @@ func (st *PipeState) Report(seconds float64) *Report {
 // DetectorCycles returns the CPU time the snapshotted detector had
 // consumed.
 func (st *PipeState) DetectorCycles() uint64 { return st.Cycles }
+
+// ModelEntry is one line of the Figure 5 cache-line model: the byte
+// bitmap and type of the previous access.
+type ModelEntry struct {
+	Line  mem.Line
+	Bits  uint64
+	Write bool
+	Valid bool
+}
+
+// FullState extends PipeState with everything a running pipeline needs
+// to resume mid-stream — the cache-line model, the timestamp window,
+// and the epoch-scoped trigger counters — so a restored detector
+// processes the remaining record stream exactly as the captured one
+// would have. Like PipeState, every slice is sorted, so serialized
+// snapshots are deterministic byte-for-byte. The PC remap table is
+// deliberately absent: it is derived state the session reinstalls from
+// the restored repair controller.
+type FullState struct {
+	Pipe       PipeState
+	Model      []ModelEntry
+	FirstTS    uint64
+	LastTS     uint64
+	Epoch      int
+	EpochStart float64
+	ELines     []LineAggregate
+	EFSByPC    []PCCount
+}
+
+func sortLineAggregates(ls []LineAggregate) {
+	slices.SortFunc(ls, func(a, b LineAggregate) int {
+		if c := cmp.Compare(a.Loc.File, b.Loc.File); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Loc.Line, b.Loc.Line)
+	})
+}
+
+// FullState snapshots the live pipeline.
+func (p *Pipeline) FullState() *FullState {
+	st := &FullState{
+		Pipe:       *p.State(),
+		Model:      make([]ModelEntry, 0, len(p.model)),
+		FirstTS:    p.firstTS,
+		LastTS:     p.lastTS,
+		Epoch:      p.epoch,
+		EpochStart: p.epochStart,
+		ELines:     make([]LineAggregate, 0, len(p.elines)),
+		EFSByPC:    make([]PCCount, 0, len(p.efsByPC)),
+	}
+	for line, la := range p.model {
+		st.Model = append(st.Model, ModelEntry{Line: line, Bits: la.bits, Write: la.write, Valid: la.valid})
+	}
+	slices.SortFunc(st.Model, func(a, b ModelEntry) int { return cmp.Compare(a.Line, b.Line) })
+	for loc, ls := range p.elines {
+		st.ELines = append(st.ELines, LineAggregate{
+			Loc: loc, Records: ls.records, BadAddr: ls.badAddr, TS: ls.ts, FS: ls.fs,
+		})
+	}
+	sortLineAggregates(st.ELines)
+	for pc, n := range p.efsByPC {
+		st.EFSByPC = append(st.EFSByPC, PCCount{PC: pc, Count: n})
+	}
+	slices.SortFunc(st.EFSByPC, func(a, b PCCount) int { return cmp.Compare(a.PC, b.PC) })
+	return st
+}
+
+// RestoreFullState overwrites a pipeline — freshly built with the same
+// config, memory map and program — with the snapshot.
+func (p *Pipeline) RestoreFullState(st *FullState) error {
+	if p.cfg != st.Pipe.Config {
+		return fmt.Errorf("core: snapshot config %+v does not match pipeline config %+v", st.Pipe.Config, p.cfg)
+	}
+	p.lines = make(map[isa.SourceLoc]*lineStat, len(st.Pipe.Lines))
+	for _, l := range st.Pipe.Lines {
+		p.lines[l.Loc] = &lineStat{records: l.Records, badAddr: l.BadAddr, ts: l.TS, fs: l.FS}
+	}
+	p.fsByPC = make(map[mem.Addr]uint64, len(st.Pipe.FSByPC))
+	for _, pc := range st.Pipe.FSByPC {
+		p.fsByPC[pc.PC] = pc.Count
+	}
+	p.filter = st.Pipe.Filter
+	p.cycles = st.Pipe.Cycles
+	p.model = make(map[mem.Line]*lastAccess, len(st.Model))
+	for _, e := range st.Model {
+		p.model[e.Line] = &lastAccess{bits: e.Bits, write: e.Write, valid: e.Valid}
+	}
+	p.firstTS = st.FirstTS
+	p.lastTS = st.LastTS
+	p.epoch = st.Epoch
+	p.epochStart = st.EpochStart
+	p.elines = make(map[isa.SourceLoc]*lineStat, len(st.ELines))
+	for _, l := range st.ELines {
+		p.elines[l.Loc] = &lineStat{records: l.Records, badAddr: l.BadAddr, ts: l.TS, fs: l.FS}
+	}
+	p.efsByPC = make(map[mem.Addr]uint64, len(st.EFSByPC))
+	for _, pc := range st.EFSByPC {
+		p.efsByPC[pc.PC] = pc.Count
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package driver
+
+// Serializable driver snapshots for the durable session layer: the
+// undelivered record queue and the accumulated counters.
+
+// State is a snapshot of a Driver.
+type State struct {
+	Queue []Record
+	Stats Stats
+}
+
+// CaptureState snapshots the driver.
+func (d *Driver) CaptureState() *State {
+	st := &State{Stats: d.stats}
+	if len(d.queue) > 0 {
+		st.Queue = append([]Record(nil), d.queue...)
+	}
+	return st
+}
+
+// RestoreState overwrites the driver with the snapshot.
+func (d *Driver) RestoreState(st *State) {
+	d.queue = nil
+	if len(st.Queue) > 0 {
+		d.queue = append([]Record(nil), st.Queue...)
+	}
+	d.stats = st.Stats
+}

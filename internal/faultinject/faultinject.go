@@ -55,6 +55,14 @@ const (
 	// PointCacheWriteErr loses a persisted-entry write: the store
 	// counts a write error and serves the result from memory only.
 	PointCacheWriteErr = "cache.write.err"
+	// PointStateWriteErr fails a session-journal write (checkpoint or
+	// frame-log append) in the durable-session store; the session keeps
+	// running and retries at the next cadence. Keyed by session id.
+	PointStateWriteErr = "state.write.err"
+	// PointStateReadCorrupt truncates the bytes read from a session
+	// checkpoint during recovery: the checksum rejects them and the
+	// journal is quarantined instead of restored. Keyed by session id.
+	PointStateReadCorrupt = "state.read.corrupt"
 )
 
 // Fault is one parsed plan rule.
@@ -168,6 +176,8 @@ var knownPoints = map[string]bool{
 	PointCacheReadErr:     true,
 	PointCacheReadCorrupt: true,
 	PointCacheWriteErr:    true,
+	PointStateWriteErr:    true,
+	PointStateReadCorrupt: true,
 }
 
 func knownPoint(p string) bool { return knownPoints[p] }

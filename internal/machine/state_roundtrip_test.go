@@ -1,0 +1,106 @@
+package machine_test
+
+// Machine-level snapshot round-trips for the execution model the laser
+// session does not cover: Sheriff-style private memory, where threads
+// run on copy-on-write overlays and publish at commit points. The
+// detector hangs off OnCommit and is external to the machine, so the
+// interrupted run shares one detector between the pre-capture machine
+// and its restored successor — exactly how a durable service would
+// resume an attached observer.
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline/sheriff"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestMachineSnapshotRoundTripSheriff(t *testing.T) {
+	scale := 0.2
+	if testing.Short() {
+		scale = 0.08
+	}
+	for _, w := range workload.All() {
+		if w.Sheriff != sheriff.OK {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, par := range []int{1, 3} {
+				par := par
+				img := w.Build(workload.Options{Scale: scale})
+				newMachine := func(det *sheriff.Detector) *machine.Machine {
+					m := machine.New(img.Prog, machine.Config{
+						Cores: 4, PrivateMemory: true, OnCommit: det.OnCommit,
+						MaxCycles: 1 << 38, Parallelism: par,
+						PrivateData: img.PrivateRanges(),
+					}, img.Specs)
+					img.Init(m)
+					return m
+				}
+
+				// Reference: uninterrupted run.
+				detA := sheriff.NewDetector(sheriff.Detect, sheriff.DefaultConfig(), img.ResolveLine)
+				mA := newMachine(detA)
+				statsA, err := mA.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				finalA := mA.CaptureState()
+
+				// Interrupted twin: run to a mid-run cycle target, capture,
+				// throw the machine away, restore onto a fresh one sharing
+				// the same detector, and finish. Commit penalties can push
+				// the final clock far past the cycle at which the last
+				// thread halts, so a target below Stats.Cycles may still
+				// complete the run — halve until the cut is mid-run.
+				h := fnv.New32a()
+				h.Write([]byte(w.Name))
+				h.Write([]byte{byte(par)})
+				target := uint64(h.Sum32())%statsA.Cycles + 1
+
+				var mB *machine.Machine
+				var detB *sheriff.Detector
+				for {
+					detB = sheriff.NewDetector(sheriff.Detect, sheriff.DefaultConfig(), img.ResolveLine)
+					mB = newMachine(detB)
+					done, err := mB.RunFor(target)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !done {
+						break
+					}
+					if target <= 64 {
+						t.Fatalf("machine completes within %d cycles; cannot interrupt", target)
+					}
+					target /= 2
+				}
+				snap := mB.CaptureState()
+
+				mC := newMachine(detB)
+				if err := mC.RestoreState(snap); err != nil {
+					t.Fatal(err)
+				}
+				statsC, err := mC.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				finalC := mC.CaptureState()
+
+				if !reflect.DeepEqual(statsA, statsC) {
+					t.Fatalf("par %d: stats diverged after restore:\nreference: %+v\nrestored:  %+v", par, statsA, statsC)
+				}
+				if !reflect.DeepEqual(detA.Findings(), detB.Findings()) {
+					t.Fatalf("par %d: sheriff findings diverged:\n%v\nvs\n%v", par, detA.Findings(), detB.Findings())
+				}
+				if !reflect.DeepEqual(finalA, finalC) {
+					t.Fatalf("par %d: final machine snapshots diverged", par)
+				}
+			}
+		})
+	}
+}

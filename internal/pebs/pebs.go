@@ -103,6 +103,10 @@ type Unit struct {
 	vm   *mem.Map
 	sink Sink
 	rng  *rand.Rand
+	// src is the counted source behind rng: it tracks how many times the
+	// generator state advanced, which is the whole RNG position a durable
+	// snapshot needs (see state.go).
+	src *countingSource
 
 	counter []int
 	buf     [][]Record
@@ -121,12 +125,14 @@ func New(cfg Config, cores int, prog *isa.Program, vm *mem.Map, sink Sink) *Unit
 	if cfg.BufferCap <= 0 {
 		panic("pebs: BufferCap must be positive")
 	}
+	src := newCountingSource(cfg.Seed)
 	u := &Unit{
 		cfg:     cfg,
 		prog:    prog,
 		vm:      vm,
 		sink:    sink,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		src:     src,
 		counter: make([]int, cores),
 		buf:     make([][]Record, cores),
 	}

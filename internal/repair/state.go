@@ -1,0 +1,81 @@
+package repair
+
+// Serializable controller snapshots. The accumulated per-function plans
+// are pure functions of (config, original program, candidate PC union):
+// Analyze is deterministic, so a snapshot needs only the candidate PCs
+// per function — restore re-analyzes and reinstalls, arriving at the
+// byte-identical rewritten program and reverse map the captured
+// controller had. The generation counter is forced to the captured
+// value so a session's remap-refresh logic sees the same history.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// FnPCs is one function's accumulated candidate PCs.
+type FnPCs struct {
+	Fn  string
+	PCs []mem.Addr
+}
+
+// State is a snapshot of a Controller.
+type State struct {
+	Applied      bool
+	Conservative bool
+	Gen          int
+	Fns          []FnPCs // sorted by function name
+}
+
+// CaptureState snapshots the controller.
+func (c *Controller) CaptureState() *State {
+	st := &State{Applied: c.applied, Conservative: c.conservative, Gen: c.gen}
+	for name, pcs := range c.fnPCs {
+		st.Fns = append(st.Fns, FnPCs{Fn: name, PCs: append([]mem.Addr(nil), pcs...)})
+	}
+	sort.Slice(st.Fns, func(i, j int) bool { return st.Fns[i].Fn < st.Fns[j].Fn })
+	return st
+}
+
+// RestoreState rebuilds the captured rewrite on a controller freshly
+// attached to a machine running the original program, reinstalling the
+// rewritten program (and remapping the machine's thread state, which
+// the caller subsequently overwrites with the machine snapshot).
+func (c *Controller) RestoreState(st *State) error {
+	if c.applied || c.gen != 0 {
+		return fmt.Errorf("repair: RestoreState on a controller with history (gen %d)", c.gen)
+	}
+	if !st.Applied {
+		if len(st.Fns) > 0 {
+			return fmt.Errorf("repair: snapshot has function plans but no installed rewrite")
+		}
+		c.gen = st.Gen
+		return nil
+	}
+	cfg := c.cfg
+	if st.Conservative {
+		cfg.SpeculativeAliasing = false
+	}
+	c.plans = make(map[string]*Plan, len(st.Fns))
+	c.fnPCs = make(map[string][]mem.Addr, len(st.Fns))
+	for _, f := range st.Fns {
+		plan, err := Analyze(cfg, c.orig, f.PCs)
+		if err != nil {
+			c.plans, c.fnPCs = nil, nil
+			return fmt.Errorf("repair: re-analyzing %s from snapshot: %w", f.Fn, err)
+		}
+		if plan.Fn.Name != f.Fn {
+			c.plans, c.fnPCs = nil, nil
+			return fmt.Errorf("repair: snapshot PCs for %s analyze to %s", f.Fn, plan.Fn.Name)
+		}
+		c.plans[f.Fn] = plan
+		c.fnPCs[f.Fn] = append([]mem.Addr(nil), f.PCs...)
+	}
+	c.install()
+	c.applied = true
+	c.conservative = st.Conservative
+	c.gen = st.Gen
+	return nil
+}

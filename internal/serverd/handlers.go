@@ -56,9 +56,23 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// healthBody is the /healthz body. The recovery counts let an operator
+// (and the chaos-restart CI job) confirm a reboot restored its sessions
+// without scraping /metrics.
+type healthBody struct {
+	Status              string `json:"status"`
+	Durable             bool   `json:"durable"`
+	SessionsRecovered   uint64 `json:"sessions_recovered"`
+	SessionsQuarantined uint64 `json:"sessions_quarantined"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:              "ok",
+		Durable:             s.store != nil,
+		SessionsRecovered:   s.met.sessionsRecovered.Value(),
+		SessionsQuarantined: s.met.sessionsQuarantined.Value(),
+	})
 }
 
 // versionInfo is the /version body: the same code-version string the

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/statestore"
 	"repro/laser"
 )
 
@@ -61,6 +62,19 @@ type Config struct {
 	// MaxStepPolls caps the poll intervals one POST step may execute.
 	// Default 1024.
 	MaxStepPolls int
+	// StateDir, when non-empty, makes sessions durable: every session
+	// journals its attach request, event frames and periodic
+	// whole-machine checkpoints under this directory, and a restarting
+	// server re-attaches every journaled session from its latest valid
+	// checkpoint. Empty (the default) disables durability.
+	StateDir string
+	// CheckpointEvents is the checkpoint cadence in emitted events: a
+	// running session checkpoints whenever this many events accumulated
+	// since the last checkpoint. Default 256.
+	CheckpointEvents int
+	// CheckpointCycles is the checkpoint cadence in simulated cycles.
+	// Default 25M.
+	CheckpointCycles uint64
 }
 
 // withDefaults fills zero fields.
@@ -89,6 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxStepPolls == 0 {
 		c.MaxStepPolls = 1024
 	}
+	if c.CheckpointEvents == 0 {
+		c.CheckpointEvents = 256
+	}
+	if c.CheckpointCycles == 0 {
+		c.CheckpointCycles = 25_000_000
+	}
 	return c
 }
 
@@ -107,6 +127,14 @@ type serverMetrics struct {
 	runsPending      *metrics.Gauge
 	workersBusy      *metrics.Gauge
 	streamsActive    *metrics.Gauge
+
+	// Durable-session metrics (all zero when StateDir is unset).
+	sessionsRecovered   *metrics.Counter
+	sessionsQuarantined *metrics.Counter
+	checkpointsWritten  *metrics.Counter
+	checkpointErrors    *metrics.Counter
+	checkpointBytes     *metrics.Counter
+	checkpointWriteNs   *metrics.Gauge
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -124,6 +152,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 		runsPending:      r.NewGauge("laserd_runs_pending", "Run requests admitted and not yet finished."),
 		workersBusy:      r.NewGauge("laserd_workers_busy", "Simulation worker slots in use."),
 		streamsActive:    r.NewGauge("laserd_streams_active", "SSE event streams currently open."),
+
+		sessionsRecovered:   r.NewCounter("laserd_sessions_recovered_total", "Sessions restored from the state journal at boot."),
+		sessionsQuarantined: r.NewCounter("laserd_sessions_quarantined_total", "Unrecoverable journals moved to quarantine at boot."),
+		checkpointsWritten:  r.NewCounter("laserd_checkpoints_total", "Session checkpoints written to the state journal."),
+		checkpointErrors:    r.NewCounter("laserd_checkpoint_errors_total", "Failed journal writes; the session keeps running and retries."),
+		checkpointBytes:     r.NewCounter("laserd_checkpoint_bytes_total", "Bytes written as checkpoint snapshots."),
+		checkpointWriteNs:   r.NewGauge("laserd_checkpoint_write_ns", "Latency of the most recent checkpoint write (ns)."),
 	}
 	r.NewGaugeFunc("laserd_sessions_active", "Sessions currently attached.", func() int64 {
 		return int64(s.sessionCount())
@@ -148,11 +183,17 @@ type Server struct {
 	shutdown chan struct{}
 	wg       sync.WaitGroup // runner goroutines + reaper
 
+	// store is the durable session journal, nil without a StateDir.
+	store *statestore.Store
+
 	idSeq uint64 // session id counter, guarded by mu
 }
 
-// New builds a server and starts its reaper.
-func New(cfg Config) *Server {
+// New builds a server and starts its reaper. With a StateDir configured
+// it first recovers every journaled session from the previous
+// incarnation — quarantining the unrecoverable ones rather than
+// refusing to boot — and resumes the ones that were running.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*hosted),
@@ -163,14 +204,25 @@ func New(cfg Config) *Server {
 		s.workers <- struct{}{}
 	}
 	s.met = newServerMetrics(s)
+	if s.cfg.StateDir != "" {
+		store, err := statestore.Open(s.cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.recoverAll()
+	}
 	s.wg.Add(1)
 	go s.reapLoop()
-	return s
+	return s, nil
 }
 
 // Close detaches every session and stops the reaper and all runners.
-// Safe to call once; the handler keeps answering (sessions all 404)
-// until the caller shuts the HTTP server down.
+// With a StateDir, every session is checkpointed before it is detached
+// — graceful shutdown always leaves a journal the next incarnation
+// restores from — and the journals are left in place. Safe to call
+// once; the handler keeps answering (sessions all 404) until the
+// caller shuts the HTTP server down.
 func (s *Server) Close() error {
 	close(s.shutdown)
 	s.mu.Lock()
@@ -180,11 +232,18 @@ func (s *Server) Close() error {
 		delete(s.sessions, id)
 	}
 	s.mu.Unlock()
+	// Runners observe the shutdown and park at their next step boundary;
+	// wait for them so the final checkpoints see settled sessions.
+	s.wg.Wait()
 	for _, h := range all {
+		if s.store != nil {
+			h.mu.Lock()
+			h.checkpointLocked()
+			h.mu.Unlock()
+		}
 		h.close()
 		s.met.sessionsClosed.Inc()
 	}
-	s.wg.Wait()
 	return nil
 }
 
@@ -218,7 +277,9 @@ func (s *Server) get(id string) (*hosted, bool) {
 	return h, ok
 }
 
-// remove detaches and deregisters a session (DELETE, reaper).
+// remove detaches and deregisters a session (DELETE, reaper). The
+// session's journal goes with it: an explicitly deleted session must
+// not resurrect at the next boot.
 func (s *Server) remove(id string) bool {
 	s.mu.Lock()
 	h, ok := s.sessions[id]
@@ -230,6 +291,9 @@ func (s *Server) remove(id string) bool {
 		return false
 	}
 	h.close()
+	if s.store != nil {
+		s.store.Remove(id)
+	}
 	return true
 }
 
@@ -266,6 +330,7 @@ func (s *Server) attach(req AttachRequest) (*hosted, error) {
 		return nil, &apiError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	h.sess = sess
+	h.fingerprint = sess.Fingerprint()
 
 	s.mu.Lock()
 	// Re-check under the lock: the capacity probe above was advisory.
@@ -282,6 +347,7 @@ func (s *Server) attach(req AttachRequest) (*hosted, error) {
 	s.sessions[h.id] = h
 	s.mu.Unlock()
 	s.met.sessionsAdmitted.Inc()
+	s.journalAttach(h)
 	return h, nil
 }
 
@@ -302,7 +368,12 @@ func (s *Server) startRun(h *hosted) error {
 	}
 	h.state = stateRunning
 	h.pause = false
+	h.resumeOnBoot = false
 	h.touch(time.Now())
+	// Make Running=true durable before the first step: a crash anywhere
+	// in the run then resumes it on reboot, even if the run is too short
+	// to reach the first cadence checkpoint.
+	h.checkpointLocked()
 	s.met.runsPending.Inc()
 	s.wg.Add(1)
 	go h.runLoop()
@@ -343,6 +414,9 @@ func (s *Server) reap(now time.Time) {
 	s.mu.Unlock()
 	for _, h := range victims {
 		h.close()
+		if s.store != nil {
+			s.store.Remove(h.id)
+		}
 		s.met.sessionsReaped.Inc()
 	}
 }

@@ -17,7 +17,10 @@ import (
 // newTestServer boots a Server behind httptest and tears both down.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -108,14 +111,12 @@ func waitState(t *testing.T, base, id, want string) sessionStatus {
 
 func TestHealthzAndVersion(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	var hb healthBody
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &hb); resp.StatusCode != 200 {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != 200 || string(body) != "ok\n" {
-		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	if hb.Status != "ok" || hb.Durable {
+		t.Fatalf("/healthz = %+v, want ok and not durable", hb)
 	}
 	var v versionInfo
 	if resp := doJSON(t, http.MethodGet, ts.URL+"/version", nil, &v); resp.StatusCode != 200 {
@@ -336,7 +337,10 @@ func TestReportReThreshold(t *testing.T) {
 
 func TestReaperDetachesIdleSessions(t *testing.T) {
 	base := runtime.NumGoroutine()
-	s := New(Config{IdleTTL: 60 * time.Millisecond, ReapInterval: 10 * time.Millisecond})
+	s, err := New(Config{IdleTTL: 60 * time.Millisecond, ReapInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	st := attachT(t, ts.URL, quickCustom(5), http.StatusCreated)
 	if resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+st.ID+"/run", nil, nil); resp.StatusCode != http.StatusAccepted {
@@ -433,7 +437,10 @@ func TestListSessions(t *testing.T) {
 
 func TestServerCloseLeaksNothing(t *testing.T) {
 	base := runtime.NumGoroutine()
-	s := New(Config{MaxSessionCycles: 1 << 40})
+	s, err := New(Config{MaxSessionCycles: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	// A running session, an idle one, and one with an open stream.
 	run := attachT(t, ts.URL, AttachRequest{

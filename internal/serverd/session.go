@@ -131,6 +131,19 @@ func (l *eventLog) read(from uint64) (frames [][]byte, stamps []int64, total uin
 	return frames, stamps, total, l.terminal, false, l.wake
 }
 
+// seed initializes a recovered log: frames carry sequence numbers
+// base..base+len-1 and everything before base is accounted as rotated
+// out, so resuming clients see the same 410 boundary they would have
+// without the restart.
+func (l *eventLog) seed(base uint64, frames [][]byte, stamps []int64) {
+	l.mu.Lock()
+	l.base = base
+	l.frames = frames
+	l.stamps = stamps
+	l.dropped = base
+	l.mu.Unlock()
+}
+
 // counts returns (total appended, rotated out).
 func (l *eventLog) counts() (total, dropped uint64) {
 	l.mu.Lock()
@@ -168,6 +181,13 @@ type hosted struct {
 	failure string // error text when stateFailed
 	pause   bool   // a pause was requested; runner honors it at a boundary
 	result  *laser.Result
+
+	// Durable-journal progress, meaningful only with a StateDir;
+	// guarded by mu like the session itself.
+	journaledSeq uint64 // frames flushed to the journal so far
+	ckptEvents   uint64 // event total at the last checkpoint
+	ckptCycles   uint64 // simulated cycles at the last checkpoint
+	resumeOnBoot bool   // parked by shutdown mid-run; resume after restart
 }
 
 // touch refreshes the idle clock. Callers hold h.mu or are the only
@@ -202,7 +222,15 @@ func (h *hosted) stepLocked() (done bool) {
 			h.result = res
 		}
 		h.log.terminalize()
+		h.checkpointLocked()
 		return true
+	}
+	if h.srv.store != nil {
+		total, _ := h.log.counts()
+		if total-h.ckptEvents >= uint64(h.srv.cfg.CheckpointEvents) ||
+			h.sess.Stats().Cycles-h.ckptCycles >= h.srv.cfg.CheckpointCycles {
+			h.checkpointLocked()
+		}
 	}
 	return false
 }
@@ -220,6 +248,7 @@ func (h *hosted) runLoop() {
 		h.mu.Lock()
 		if h.state == stateRunning {
 			h.state = statePaused
+			h.resumeOnBoot = true
 		}
 		h.mu.Unlock()
 		return
@@ -243,6 +272,7 @@ func (h *hosted) runLoop() {
 				h.pause = false
 				h.state = statePaused
 				h.touch(time.Now())
+				h.checkpointLocked()
 				h.mu.Unlock()
 				return
 			}
@@ -253,10 +283,13 @@ func (h *hosted) runLoop() {
 			}
 			return
 		}
-		// Server shutting down: park the session where it stands.
+		// Server shutting down: park the session where it stands. The
+		// resumeOnBoot mark makes Close's final checkpoint record it as
+		// running, so the next incarnation resumes the run.
 		h.mu.Lock()
 		if h.state == stateRunning {
 			h.state = statePaused
+			h.resumeOnBoot = true
 		}
 		h.mu.Unlock()
 		return

@@ -1,0 +1,267 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func frames(n int, prefix string) ([][]byte, []int64) {
+	fs := make([][]byte, n)
+	ts := make([]int64, n)
+	for i := range fs {
+		fs[i] = []byte(fmt.Sprintf("id: %d\nevent: %s\ndata: {}\n\n", i, prefix))
+		ts[i] = int64(1000 + i)
+	}
+	return fs, ts
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	s := testStore(t)
+	if err := s.CreateSession("s1", []byte(`{"workload":"dedup"}`)); err != nil {
+		t.Fatal(err)
+	}
+	fs, ts := frames(5, "SampleBatch")
+	if err := s.AppendFrames("s1", 0, fs[:3], ts[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFrames("s1", 3, fs[3:], ts[3:]); err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{ID: "s1", CodeVersion: "v", Fingerprint: "fp", Events: 5, State: "paused", Running: true}
+	n, err := s.WriteCheckpoint(meta, []byte("payload-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= len("payload-bytes") {
+		t.Fatalf("checkpoint wrote %d bytes, want header + payload", n)
+	}
+
+	ids, err := s.Sessions()
+	if err != nil || len(ids) != 1 || ids[0] != "s1" {
+		t.Fatalf("Sessions() = %v, %v", ids, err)
+	}
+	j, err := s.LoadSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Meta != meta {
+		t.Fatalf("meta round-trip: %+v vs %+v", j.Meta, meta)
+	}
+	if string(j.State) != "payload-bytes" || string(j.Attach) != `{"workload":"dedup"}` {
+		t.Fatalf("payload/attach round-trip failed")
+	}
+	if len(j.Frames) != 5 {
+		t.Fatalf("got %d frames, want 5", len(j.Frames))
+	}
+	for i := range fs {
+		if !bytes.Equal(j.Frames[i], fs[i]) || j.Stamps[i] != ts[i] {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+// Frames appended after the last durable checkpoint belong to a lost
+// future; load trims to the checkpoint's Events.
+func TestLoadTrimsFramesPastCheckpoint(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	fs, ts := frames(6, "x")
+	s.AppendFrames("s1", 0, fs, ts)
+	if _, err := s.WriteCheckpoint(Meta{ID: "s1", Events: 4, State: "idle"}, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.LoadSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Frames) != 4 {
+		t.Fatalf("got %d frames, want 4", len(j.Frames))
+	}
+}
+
+// A frame log shorter than the checkpoint's Events is a journal
+// inconsistency, never silently resumed.
+func TestLoadRefusesShortFrameLog(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	fs, ts := frames(2, "x")
+	s.AppendFrames("s1", 0, fs, ts)
+	s.WriteCheckpoint(Meta{ID: "s1", Events: 4, State: "idle"}, []byte("p"))
+	if _, err := s.LoadSession("s1"); err == nil || !strings.Contains(err.Error(), "frame log holds") {
+		t.Fatalf("want frame-log consistency error, got %v", err)
+	}
+}
+
+// A torn final record — SIGKILL mid-append — is truncated away.
+func TestTornFrameLogTail(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	fs, ts := frames(3, "x")
+	s.AppendFrames("s1", 0, fs, ts)
+	path := filepath.Join(s.Dir(), "sessions", "s1", "frames.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.WriteCheckpoint(Meta{ID: "s1", Events: 2, State: "idle"}, []byte("p"))
+	j, err := s.LoadSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Frames) != 2 {
+		t.Fatalf("got %d frames after torn tail, want 2", len(j.Frames))
+	}
+}
+
+func TestCheckpointChecksumRejectsFlippedByte(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	s.WriteCheckpoint(Meta{ID: "s1", State: "idle"}, []byte("payload-bytes"))
+	path := filepath.Join(s.Dir(), "sessions", "s1", "checkpoint.snap")
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0x40
+	os.WriteFile(path, raw, 0o644)
+	if _, err := s.LoadSession("s1"); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+func TestCheckpointHeaderMustNameDirectory(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	s.WriteCheckpoint(Meta{ID: "s1", State: "idle"}, []byte("p"))
+	// Copy s1's journal under another id: the header no longer matches.
+	src := filepath.Join(s.Dir(), "sessions", "s1")
+	dst := filepath.Join(s.Dir(), "sessions", "s2")
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSession("s2"); err == nil || !strings.Contains(err.Error(), "names session") {
+		t.Fatalf("want header/directory mismatch error, got %v", err)
+	}
+}
+
+func TestResetFramesTruncates(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	fs, ts := frames(6, "x")
+	s.AppendFrames("s1", 0, fs, ts)
+	if err := s.ResetFrames("s1", fs[:2], ts[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// Appends continue from the truncation point.
+	if err := s.AppendFrames("s1", 2, fs[2:4], ts[2:4]); err != nil {
+		t.Fatal(err)
+	}
+	s.WriteCheckpoint(Meta{ID: "s1", Events: 4, State: "idle"}, []byte("p"))
+	j, err := s.LoadSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Frames) != 4 || !bytes.Equal(j.Frames[3], fs[3]) {
+		t.Fatalf("reset+append round-trip broken: %d frames", len(j.Frames))
+	}
+}
+
+func TestQuarantineMovesJournal(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	s.WriteCheckpoint(Meta{ID: "s1", State: "idle"}, []byte("p"))
+	if err := s.Quarantine("s1", fmt.Errorf("checksum failed")); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := s.Sessions(); len(ids) != 0 {
+		t.Fatalf("quarantined session still listed: %v", ids)
+	}
+	q, err := s.Quarantined()
+	if err != nil || len(q) != 1 || q[0] != "s1" {
+		t.Fatalf("Quarantined() = %v, %v", q, err)
+	}
+	reason, err := os.ReadFile(filepath.Join(s.Dir(), "quarantine", "s1", "REASON"))
+	if err != nil || !strings.Contains(string(reason), "checksum failed") {
+		t.Fatalf("REASON = %q, %v", reason, err)
+	}
+	// A second quarantine under the same id must not clobber the first.
+	s.CreateSession("s1", []byte("{}"))
+	if err := s.Quarantine("s1", fmt.Errorf("again")); err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := s.Quarantined(); len(q) != 2 {
+		t.Fatalf("want 2 quarantined journals, got %v", q)
+	}
+}
+
+func TestRemoveDeletesJournal(t *testing.T) {
+	s := testStore(t)
+	s.CreateSession("s1", []byte("{}"))
+	if err := s.Remove("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := s.Sessions(); len(ids) != 0 {
+		t.Fatalf("removed session still listed: %v", ids)
+	}
+}
+
+// The injected write fault fails journal writes for matching sessions
+// only; the read-corruption fault truncates checkpoint bytes so the
+// checksum rejects them — the hook the chaos-restart CI job uses.
+func TestFaultInjection(t *testing.T) {
+	plan, err := faultinject.Parse("seed=3;state.write.err:p=1,match=s1;state.read.corrupt:p=1,match=s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Enable(nil)
+
+	s := testStore(t)
+	if err := s.CreateSession("s1", []byte("{}")); err == nil {
+		t.Fatal("want injected write error on create")
+	}
+	if _, err := s.WriteCheckpoint(Meta{ID: "s1"}, []byte("p")); err == nil {
+		t.Fatal("want injected write error on checkpoint")
+	}
+	fs, ts := frames(1, "x")
+	if err := s.AppendFrames("s1", 0, fs, ts); err == nil {
+		t.Fatal("want injected write error on append")
+	}
+
+	// s2 writes fine but reads back corrupt.
+	if err := s.CreateSession("s2", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteCheckpoint(Meta{ID: "s2", State: "idle"}, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSession("s2"); err == nil {
+		t.Fatal("want corrupt read to fail validation")
+	}
+
+	// Unmatched sessions are untouched.
+	if err := s.CreateSession("s3", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteCheckpoint(Meta{ID: "s3", State: "idle"}, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSession("s3"); err != nil {
+		t.Fatal(err)
+	}
+}

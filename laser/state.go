@@ -1,0 +1,222 @@
+package laser
+
+// Durable session snapshots: SessionState composes the component
+// snapshots (machine, detector pipeline, repair controller, PMU,
+// driver) with the session's own monitor-loop state into one
+// gob-serializable value. CaptureState is valid whenever the session is
+// stopped at a Step boundary — the machine settles every in-flight
+// engine segment before RunFor returns, so a boundary is a fully
+// consistent cut. RestoreSession rebuilds the full stack from the
+// workload image and overwrites it with the snapshot; restore is
+// deterministically transparent: a restored session emits a
+// byte-identical remaining event stream and final result versus a twin
+// that was never interrupted.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+// SessionState is a whole-session snapshot. Fingerprint pins the
+// configuration the snapshot was captured under: RestoreSession refuses
+// a snapshot whose fingerprint does not match the configuration the
+// restoring options produce, because a single divergent parameter would
+// silently fork the simulation. Parallel additionally pins the
+// execution engine — the intra-run engine's first-touch tables are not
+// portable across engines, so a snapshot restores only onto the same
+// engine kind it was captured on.
+type SessionState struct {
+	Fingerprint string
+	Parallel    bool
+
+	Machine *machine.State
+	Pipe    *core.FullState
+	Repair  *repair.State
+	PEBS    *pebs.State
+	Driver  *driver.State
+
+	Next          uint64
+	Done          bool
+	Epoch         int
+	EpochStart    float64
+	EpochDrv      driver.Stats
+	EpochPEBS     pebs.Stats
+	Epochs        []EpochReport
+	LastGen       int
+	RepairApplied bool
+	RepairErr     string
+	Covered       []mem.Addr // sorted
+}
+
+// Fingerprint returns the fingerprint of the session's resolved
+// configuration — the value a snapshot of this session would pin.
+func (s *Session) Fingerprint() string { return s.cfg.Fingerprint() }
+
+// CaptureState snapshots the session. Call it only from the driving
+// goroutine, with the session stopped at a Step boundary.
+func (s *Session) CaptureState() *SessionState {
+	st := &SessionState{
+		Fingerprint:   s.cfg.Fingerprint(),
+		Parallel:      s.m.IntraRunParallel(),
+		Machine:       s.m.CaptureState(),
+		Pipe:          s.pipe.FullState(),
+		Repair:        s.ctl.CaptureState(),
+		PEBS:          s.pmu.CaptureState(),
+		Driver:        s.drv.CaptureState(),
+		Next:          s.next,
+		Done:          s.done,
+		Epoch:         s.epoch,
+		EpochStart:    s.epochStart,
+		EpochDrv:      s.epochDrv,
+		EpochPEBS:     s.epochPEBS,
+		Epochs:        append([]EpochReport(nil), s.epochs...),
+		LastGen:       s.lastGen,
+		RepairApplied: s.repairApplied,
+	}
+	if s.repairErr != nil {
+		st.RepairErr = s.repairErr.Error()
+	}
+	for pc := range s.covered {
+		st.Covered = append(st.Covered, pc)
+	}
+	sort.Slice(st.Covered, func(i, j int) bool { return st.Covered[i] < st.Covered[j] })
+	return st
+}
+
+// RestoreSession rebuilds a session from a snapshot. img and opts must
+// describe the same workload image and configuration the captured
+// session was attached with; the configuration is verified against the
+// snapshot's fingerprint and the execution-engine kind against its
+// Parallel flag (IntraRunParallelism may change worker count, but not
+// flip between serial and intra-run engines). The restored session is
+// stopped at the captured Step boundary; no events are re-emitted for
+// the already-monitored prefix, so observers attached via opts see
+// exactly the remaining stream.
+func RestoreSession(img *workload.Image, st *SessionState, opts ...Option) (*Session, error) {
+	set := settings{cfg: DefaultConfig(), monitorAfterRepair: true}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&set); err != nil {
+			return nil, fmt.Errorf("laser: %w", err)
+		}
+	}
+	if set.cfg.MaxEpochs == 0 {
+		set.cfg.MaxEpochs = DefaultMaxEpochs
+	}
+	if err := resolvePollInterval(&set); err != nil {
+		return nil, err
+	}
+	if err := set.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fp := set.cfg.Fingerprint(); fp != st.Fingerprint {
+		return nil, fmt.Errorf("laser: snapshot fingerprint %s does not match configuration fingerprint %s", st.Fingerprint, fp)
+	}
+	s, err := newSession(img, set)
+	if err != nil {
+		return nil, err
+	}
+	if s.m.IntraRunParallel() != st.Parallel {
+		return nil, fmt.Errorf("laser: snapshot captured with intra-run parallel=%v, restore configured parallel=%v",
+			st.Parallel, s.m.IntraRunParallel())
+	}
+	// Order matters: the controller reinstalls the rewritten program
+	// first (its SetProgram remaps the fresh machine's thread state, which
+	// the machine snapshot then overwrites), the machine restore brings
+	// back the true architectural state, and the pipeline's PC remap is
+	// derived from the restored controller afterwards.
+	if err := s.ctl.RestoreState(st.Repair); err != nil {
+		return nil, err
+	}
+	if err := s.m.RestoreState(st.Machine); err != nil {
+		return nil, err
+	}
+	if err := s.pipe.RestoreFullState(st.Pipe); err != nil {
+		return nil, err
+	}
+	// The remap table the captured pipeline held is the one installed at
+	// controller generation LastGen. At a Step boundary that is the
+	// current generation on every path that still feeds the pipeline; a
+	// frozen (one-shot) pipeline can hold a stale generation, but it
+	// never consumes another record, so nil is equivalent there.
+	if st.LastGen == s.ctl.Generation() {
+		s.pipe.SetPCRemap(s.ctl.PCRemap())
+	} else {
+		s.pipe.SetPCRemap(nil)
+	}
+	if err := s.pmu.RestoreState(st.PEBS); err != nil {
+		return nil, err
+	}
+	s.drv.RestoreState(st.Driver)
+
+	s.next = st.Next
+	s.done = st.Done
+	s.epoch = st.Epoch
+	s.epochStart = st.EpochStart
+	s.epochDrv = st.EpochDrv
+	s.epochPEBS = st.EpochPEBS
+	s.epochs = append([]EpochReport(nil), st.Epochs...)
+	s.lastGen = st.LastGen
+	s.repairApplied = st.RepairApplied
+	if st.RepairErr != "" {
+		s.repairErr = errors.New(st.RepairErr)
+	}
+	if len(st.Covered) > 0 {
+		s.covered = make(map[mem.Addr]bool, len(st.Covered))
+		for _, pc := range st.Covered {
+			s.covered[pc] = true
+		}
+	}
+	if s.done {
+		// The captured session had already finished (and archived its
+		// final epoch); rebuild the Result from the restored components
+		// without re-running finish's drain/emit side effects.
+		seconds := s.m.Stats().Seconds()
+		s.res = &Result{
+			Stats:         s.m.Stats(),
+			Report:        s.pipe.Report(seconds),
+			Pipeline:      s.pipe,
+			RepairApplied: s.repairApplied,
+			RepairErr:     s.repairErr,
+			Seconds:       seconds,
+			DriverStats:   s.drv.Stats(),
+			PEBSStats:     s.pmu.Stats(),
+			DetectorCycle: s.pipe.DetectorCycles(),
+			Epochs:        s.epochs,
+		}
+	}
+	return s, nil
+}
+
+// Encode serializes the snapshot with gob. The encoding is
+// deterministic for a given snapshot: every component flattens its
+// maps into sorted slices at capture time.
+func (st *SessionState) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("laser: encoding session state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSessionState parses a snapshot produced by Encode.
+func DecodeSessionState(b []byte) (*SessionState, error) {
+	st := new(SessionState)
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(st); err != nil {
+		return nil, fmt.Errorf("laser: decoding session state: %w", err)
+	}
+	return st, nil
+}
