@@ -5,6 +5,7 @@
 //
 //	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
 //	           [-ascale N] [-pscale N] [-runs N] [-intra N]
+//	           [-speculative-repair=true|false]
 //	           [-cache DIR] [-shard I/N] [-shard-partition cost|hash]
 //	           [-cache-gc AGE] [-cache-gc-bytes N]
 //	           [-fault-plan SPEC] [-unit-retries N]
@@ -86,6 +87,7 @@ func main() {
 	ascale := flag.Float64("ascale", 20, "accuracy experiment scale")
 	pscale := flag.Float64("pscale", 1, "performance experiment scale")
 	runs := flag.Int("runs", 3, "runs per performance data point")
+	specRepair := flag.Bool("speculative-repair", true, "race repair candidates in bounded forked trials before installing (Figure 11 automatic rows)")
 	intra := flag.Int("intra", 0, "intra-run engine workers per simulation (0 = automatic split)")
 	faultPlan := flag.String("fault-plan", "", "deterministic fault-injection plan (default $LASER_FAULT_PLAN; see internal/faultinject)")
 	unitRetries := flag.Int("unit-retries", 0, "attempts per failing work unit before quarantine (0 = default 3)")
@@ -178,7 +180,7 @@ func main() {
 			st.Evicted, st.Scanned, float64(st.EvictedBytes)/(1<<20), float64(st.RemainingBytes)/(1<<20), st.Pinned)
 	}
 
-	cfg := experiments.Config{AccuracyScale: *ascale, PerfScale: *pscale, Runs: *runs}
+	cfg := experiments.Config{AccuracyScale: *ascale, PerfScale: *pscale, Runs: *runs, SpeculativeRepair: *specRepair}
 	bench := experiments.NewBenchReport(cfg)
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -61,6 +61,17 @@ type Config struct {
 	// RepairRateThreshold is the false-sharing event rate (FS
 	// events/second, sampled) above which LASERREPAIR is invoked (§4.4).
 	RepairRateThreshold float64
+	// RepairAllContention widens the §4.4 trigger from false-sharing-
+	// leaning lines to every contended line, and makes RepairCandidates
+	// return every PC that produced a classified cache-line-model event
+	// rather than only false-sharing PCs. The paper's trigger
+	// deliberately ignores true sharing ("avoiding fruitless attempts to
+	// automatically repair true sharing", §7.1), so this stays off in
+	// normal operation; the experiment harness enables it for
+	// speculative probe runs, where measured repair trials — not the
+	// detector's classification — decide whether any rewrite helps a
+	// workload whose contention classifies as true sharing.
+	RepairAllContention bool
 	// ProcessCyclesPerRecord models the detector's own CPU usage, for
 	// the Figure 12 accounting. The detector is a separate process; this
 	// cost does not perturb the application.
@@ -143,6 +154,10 @@ type Pipeline struct {
 	epochStart float64 // observation seconds when the epoch began
 	elines     map[isa.SourceLoc]*lineStat
 	efsByPC    map[mem.Addr]uint64
+	// ePCs counts every classified model event per PC — true- and
+	// false-sharing alike — for the RepairAllContention probe trigger.
+	// Only maintained when that knob is set; nil otherwise.
+	ePCs map[mem.Addr]uint64
 
 	// sortBuf is the reusable staging slice of Feed's timestamp sort, so
 	// the streaming hot path stops allocating a copy per poll.
@@ -159,7 +174,7 @@ func NewPipeline(cfg Config, mapsText string, prog *isa.Program) (*Pipeline, err
 	if cfg.SAV <= 0 {
 		return nil, fmt.Errorf("core: SAV must be positive, got %d", cfg.SAV)
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:     cfg,
 		vm:      vm,
 		prog:    prog,
@@ -169,7 +184,11 @@ func NewPipeline(cfg Config, mapsText string, prog *isa.Program) (*Pipeline, err
 		fsByPC:  make(map[mem.Addr]uint64),
 		elines:  make(map[isa.SourceLoc]*lineStat),
 		efsByPC: make(map[mem.Addr]uint64),
-	}, nil
+	}
+	if cfg.RepairAllContention {
+		p.ePCs = make(map[mem.Addr]uint64)
+	}
+	return p, nil
 }
 
 // SetPCRemap installs (or, with nil, clears) the rewritten→original PC
@@ -192,6 +211,9 @@ func (p *Pipeline) BeginEpoch(seconds float64) {
 	p.epochStart = seconds
 	p.elines = make(map[isa.SourceLoc]*lineStat)
 	p.efsByPC = make(map[mem.Addr]uint64)
+	if p.cfg.RepairAllContention {
+		p.ePCs = make(map[mem.Addr]uint64)
+	}
 }
 
 // Feed pushes a batch of driver records through the pipeline. Records are
@@ -296,6 +318,9 @@ func (p *Pipeline) feedOne(r driver.Record) {
 		p.model[line] = la
 	}
 	if la.valid {
+		if p.ePCs != nil {
+			p.ePCs[r.PC]++
+		}
 		// Figure 5: overlapping consecutive accesses to one line are
 		// true sharing, disjoint ones false sharing. A writer is always
 		// involved at line granularity — these are HITM-derived records
@@ -428,9 +453,11 @@ func (p *Pipeline) Report(seconds float64) *Report {
 // exceeds the repair threshold, it returns the PCs involved in false
 // sharing, most active first. True-sharing lines never trigger repair —
 // "avoiding fruitless attempts to automatically repair true sharing"
-// (§7.1). The trigger reads the epoch-scoped counters over the epoch's
-// own window, so after a repair (and BeginEpoch) it re-arms on fresh
-// evidence only; in epoch 0 this is identical to the cumulative rate.
+// (§7.1) — unless Config.RepairAllContention widens the trigger for a
+// speculative probe run. The trigger reads the epoch-scoped counters
+// over the epoch's own window, so after a repair (and BeginEpoch) it
+// re-arms on fresh evidence only; in epoch 0 this is identical to the
+// cumulative rate.
 func (p *Pipeline) RepairCandidates(seconds float64) ([]mem.Addr, bool) {
 	window := seconds - p.epochStart
 	if window <= 0 {
@@ -438,7 +465,7 @@ func (p *Pipeline) RepairCandidates(seconds float64) ([]mem.Addr, bool) {
 	}
 	var fsRecords uint64
 	for _, ls := range p.elines {
-		if ls.fs > ls.ts {
+		if p.cfg.RepairAllContention || ls.fs > ls.ts {
 			fsRecords += ls.records
 		}
 	}
@@ -446,13 +473,24 @@ func (p *Pipeline) RepairCandidates(seconds float64) ([]mem.Addr, bool) {
 	if rate < p.cfg.RepairRateThreshold {
 		return nil, false
 	}
-	pcs := make([]mem.Addr, 0, len(p.efsByPC))
-	for pc := range p.efsByPC {
+	byPC := p.efsByPC
+	if p.cfg.RepairAllContention {
+		byPC = p.ePCs
+	}
+	// No classified PCs yet — the record rate alone cleared the bar
+	// (possible in probe mode, where every contended line counts) but
+	// there is nothing to hand the repair analysis. Hold fire until the
+	// cache line model has attributed events to instructions.
+	if len(byPC) == 0 {
+		return nil, false
+	}
+	pcs := make([]mem.Addr, 0, len(byPC))
+	for pc := range byPC {
 		pcs = append(pcs, pc)
 	}
 	sort.Slice(pcs, func(i, j int) bool {
-		if p.efsByPC[pcs[i]] != p.efsByPC[pcs[j]] {
-			return p.efsByPC[pcs[i]] > p.efsByPC[pcs[j]]
+		if byPC[pcs[i]] != byPC[pcs[j]] {
+			return byPC[pcs[i]] > byPC[pcs[j]]
 		}
 		return pcs[i] < pcs[j]
 	})

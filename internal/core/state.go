@@ -120,6 +120,9 @@ type FullState struct {
 	EpochStart float64
 	ELines     []LineAggregate
 	EFSByPC    []PCCount
+	// EPCs mirrors the all-contention probe counters (nil unless the
+	// pipeline runs with Config.RepairAllContention).
+	EPCs []PCCount
 }
 
 func sortLineAggregates(ls []LineAggregate) {
@@ -157,6 +160,13 @@ func (p *Pipeline) FullState() *FullState {
 		st.EFSByPC = append(st.EFSByPC, PCCount{PC: pc, Count: n})
 	}
 	slices.SortFunc(st.EFSByPC, func(a, b PCCount) int { return cmp.Compare(a.PC, b.PC) })
+	if p.ePCs != nil {
+		st.EPCs = make([]PCCount, 0, len(p.ePCs))
+		for pc, n := range p.ePCs {
+			st.EPCs = append(st.EPCs, PCCount{PC: pc, Count: n})
+		}
+		slices.SortFunc(st.EPCs, func(a, b PCCount) int { return cmp.Compare(a.PC, b.PC) })
+	}
 	return st
 }
 
@@ -191,6 +201,12 @@ func (p *Pipeline) RestoreFullState(st *FullState) error {
 	p.efsByPC = make(map[mem.Addr]uint64, len(st.EFSByPC))
 	for _, pc := range st.EFSByPC {
 		p.efsByPC[pc.PC] = pc.Count
+	}
+	if p.cfg.RepairAllContention {
+		p.ePCs = make(map[mem.Addr]uint64, len(st.EPCs))
+		for _, pc := range st.EPCs {
+			p.ePCs[pc.PC] = pc.Count
+		}
 	}
 	return nil
 }

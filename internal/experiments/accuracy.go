@@ -64,7 +64,7 @@ var accuracySpec = &Spec{
 	Enumerate: func(cfg Config) []WorkUnit {
 		u := newUnitSet()
 		for _, name := range workloadNames() {
-			u.laser(name, cfg.AccuracyScale, false, laserSAV, 1)
+			u.laser(name, cfg.AccuracyScale, false, false, laserSAV, 1)
 			u.vtune(name, cfg.AccuracyScale, 1)
 			if w, ok := workload.Get(name); ok && w.Sheriff == sheriff.OK {
 				u.sheriff(name, cfg.AccuracyScale, sheriff.Detect, false)
@@ -140,7 +140,7 @@ func accuracyRow(cfg Config, name string, intra int, res *AccuracyResult) (Tab1R
 	}
 
 	// LASER: detection only (repair would freeze monitoring early).
-	lres, err := runLaser(name, cfg.AccuracyScale, false, laserSAV, 1, intra)
+	lres, err := runLaser(name, cfg.AccuracyScale, false, false, laserSAV, 1, intra)
 	if err != nil {
 		return row, err
 	}

@@ -195,7 +195,7 @@ func TestFigure10Subset(t *testing.T) {
 	cfg := Config{PerfScale: 0.5, Runs: 1}
 	check := func(name string, laserMax, vtuneMin float64) {
 		l, err := normalizedRuntime(cfg, name, 1, func(seed int64) (uint64, error) {
-			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, 1)
+			res, err := runLaser(name, cfg.PerfScale, true, false, laserSAV, seed, 1)
 			if err != nil {
 				return 0, err
 			}
@@ -321,7 +321,7 @@ func TestFigure11RenderSeedAccounting(t *testing.T) {
 // Figure 12 accounting: driver and detector shares must be small even for
 // the most monitored workload.
 func TestFigure12Accounting(t *testing.T) {
-	res, err := runLaser("kmeans", 0.5, false, laserSAV, 1, 1)
+	res, err := runLaser("kmeans", 0.5, false, false, laserSAV, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/baseline/sheriff"
 	"repro/internal/metrics"
+	"repro/internal/repair"
 	"repro/internal/texttab"
 	"repro/internal/workload"
 )
@@ -27,7 +29,7 @@ var fig10Spec = &Spec{
 		for _, name := range workloadNames() {
 			u.native(name, cfg.PerfScale, workload.Native)
 			for seed := 1; seed <= runsOf(cfg); seed++ {
-				u.laser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+				u.laser(name, cfg.PerfScale, true, false, laserSAV, int64(seed))
 				u.vtune(name, cfg.PerfScale, int64(seed))
 			}
 		}
@@ -57,7 +59,7 @@ func RunFigure10(cfg Config) ([]Fig10Row, error) {
 	err := forEach(len(names), func(i int) error {
 		name := names[i]
 		l, err := normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
-			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, intra)
+			res, err := runLaser(name, cfg.PerfScale, true, false, laserSAV, seed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -128,6 +130,19 @@ type Fig11Row struct {
 	// result when the evidence is insufficient, the same failure mode
 	// the automatic rows' marker exists for.
 	NoBenefit bool
+	// Winner is the measured speculative-repair winner installed by the
+	// repaired runs (the lowest repaired seed's), empty for
+	// direct-rewrite runs.
+	Winner string
+	// Declined marks automatic rows where the trigger fired but the
+	// bounded trials measured no candidate beating the no-op baseline
+	// on every triggering seed — a measured decline, distinct from the
+	// trigger never firing (NoRepair).
+	Declined bool
+	// TrialNote compresses the trial evidence backing a decline: the
+	// best rewrite's measured cycles against the no-op baseline it
+	// failed to beat.
+	TrialNote string
 }
 
 // fig11Spec declares the repair-speedup measurement: native baselines
@@ -141,12 +156,17 @@ var fig11Spec = &Spec{
 		for _, name := range fig11AutoSet {
 			u.native(name, cfg.PerfScale, workload.Native)
 			for seed := 1; seed <= runsOf(cfg); seed++ {
-				u.laser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+				u.laser(name, cfg.PerfScale, true, cfg.SpeculativeRepair, laserSAV, int64(seed))
 			}
 		}
 		for _, name := range fig11ManualSet {
 			u.native(name, cfg.PerfScale, workload.Native)
 			u.native(name, cfg.PerfScale, workload.Fixed)
+		}
+		if cfg.SpeculativeRepair {
+			for _, name := range fig11TrialBacked {
+				u.laserProbe(name, cfg.PerfScale, laserSAV, 1)
+			}
 		}
 		return u.units
 	},
@@ -157,7 +177,10 @@ var fig11Spec = &Spec{
 		}
 		m := make(map[string]float64)
 		for _, r := range rows {
-			if r.Mode == "automatic" && !r.NoRepair {
+			// Only rows with at least one repaired seed have a measured
+			// speedup; untriggered and trial-declined rows render
+			// markers instead of numbers.
+			if r.Mode == "automatic" && r.Repaired > 0 {
 				m["auto_"+r.Workload] = r.Speedup
 			}
 		}
@@ -209,6 +232,20 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 		// like the automatic rows mark an untriggered repair. A genuine
 		// measured slowdown (≤0.99x) still renders its number.
 		row.NoBenefit = row.Speedup >= 0.995 && row.Speedup < 1.005
+		// With speculative repair on, the historically fix-resistant
+		// workloads back their marker with measured trials: one
+		// speculative repair run races the candidate slate against the
+		// no-op baseline, and a measured decline turns "fix did not beat
+		// native" from an assertion into trial numbers.
+		if cfg.SpeculativeRepair && fig11TrialBackedSet()[name] {
+			res, err := runLaserProbe(name, cfg.PerfScale, laserSAV, 1, intra)
+			if err != nil {
+				return fmt.Errorf("fig11 manual %s trials: %w", name, err)
+			}
+			if res.Winner == repair.DeclineName {
+				row.TrialNote = trialNote(res.Trials)
+			}
+		}
 		rows[i] = row
 		return nil
 	})
@@ -223,7 +260,59 @@ func RunFigure11(cfg Config) ([]Fig11Row, error) {
 var (
 	fig11AutoSet   = []string{"histogram'", "linear_regression"}
 	fig11ManualSet = []string{"dedup", "histogram'", "kmeans", "linear_regression", "lu_ncb", "reverse_index"}
+	// fig11TrialBacked names the manual-row workloads whose "fix did not
+	// beat native" markers are backed by a measured speculative-repair
+	// decline when cfg.SpeculativeRepair is on; the runner and the
+	// spec's enumeration read the same slice.
+	fig11TrialBacked = []string{"dedup", "reverse_index"}
 )
+
+// fig11TrialBackedSet is fig11TrialBacked as a membership set.
+func fig11TrialBackedSet() map[string]bool {
+	set := make(map[string]bool, len(fig11TrialBacked))
+	for _, n := range fig11TrialBacked {
+		set[n] = true
+	}
+	return set
+}
+
+// trialNote compresses a measured decline's trial evidence: the best
+// rewrite candidate's cycles against the no-op baseline it failed to
+// beat. Empty when the trials carry no usable baseline.
+func trialNote(trials []repair.TrialResult) string {
+	var base *repair.TrialResult
+	for i := range trials {
+		if trials[i].Candidate == repair.DeclineName {
+			base = &trials[i]
+		}
+	}
+	if base == nil || base.Cycles == 0 {
+		return ""
+	}
+	bestName, bestCycles := "", uint64(0)
+	for _, t := range trials {
+		if t.Candidate == repair.DeclineName || t.Err != "" {
+			continue
+		}
+		if bestName == "" || t.Cycles < bestCycles {
+			bestName, bestCycles = t.Candidate, t.Cycles
+		}
+	}
+	if bestName == "" {
+		// Every rewrite refused the region; report the default
+		// candidate's reason and the no-op baseline the race measured.
+		reason := "refused"
+		for _, t := range trials {
+			if t.Candidate != repair.DeclineName && t.Err != "" {
+				reason = strings.TrimPrefix(t.Err, "repair: ")
+				break
+			}
+		}
+		return fmt.Sprintf("trials: no rewrite accepted — %s; no-op ran %d cycles", reason, base.Cycles)
+	}
+	delta := 100 * (float64(bestCycles)/float64(base.Cycles) - 1)
+	return fmt.Sprintf("trials: best rewrite %s %+.1f%% vs no-op", bestName, delta)
+}
 
 // fig11AutoRow measures one automatic (online repair) bar, seed by seed.
 func fig11AutoRow(cfg Config, name string, intra int) (Fig11Row, error) {
@@ -248,23 +337,39 @@ func fig11AutoRow(cfg Config, name string, intra int) (Fig11Row, error) {
 	row.Seeds = runs
 	repaired := make([]float64, 0, runs)
 	for seed := 1; seed <= runs; seed++ {
-		res, err := runLaser(name, cfg.PerfScale, true, laserSAV, int64(seed), intra)
+		res, err := runLaser(name, cfg.PerfScale, true, cfg.SpeculativeRepair, laserSAV, int64(seed), intra)
 		if err != nil {
 			return row, err
 		}
 		if !res.RepairApplied {
-			if err := res.RepairError(); err != nil {
-				return row, fmt.Errorf("repair declined: %w", err)
+			if rerr := res.RepairError(); rerr != nil {
+				// Under speculative repair the bounded trials themselves
+				// can refuse the rewrite: that is a measured decline —
+				// evidence the row reports — not a harness failure.
+				if res.Winner == repair.DeclineName {
+					row.Declined = true
+					if row.TrialNote == "" {
+						row.TrialNote = trialNote(res.Trials)
+					}
+					continue
+				}
+				return row, fmt.Errorf("repair declined: %w", rerr)
 			}
 			// This seed's sampling never crossed the trigger; its
 			// native-speed cycles must not dilute the repaired mean.
 			continue
 		}
+		if row.Winner == "" {
+			row.Winner = res.Winner
+		}
 		repaired = append(repaired, float64(res.Stats.Cycles))
 	}
 	row.Repaired = len(repaired)
 	if row.Repaired == 0 {
-		row.NoRepair = true
+		// Every seed either never triggered (NoRepair) or measured a
+		// decline in its trials (Declined takes precedence: the trigger
+		// did fire and the trials did run).
+		row.NoRepair = !row.Declined
 		return row, nil
 	}
 	row.Speedup = native / metrics.TrimmedMean(repaired)
@@ -286,11 +391,23 @@ func RenderFigure11(rows []Fig11Row) string {
 		if r.Repaired > 0 && r.Repaired < r.Seeds {
 			cell = fmt.Sprintf("%.2fx (%d/%d seeds repaired)", r.Speedup, r.Repaired, r.Seeds)
 		}
+		if r.Winner != "" && r.Repaired > 0 {
+			cell += fmt.Sprintf(" [winner: %s]", r.Winner)
+		}
 		if r.NoRepair {
 			cell = "repair did not trigger at this scale"
 		}
+		if r.Declined && r.Repaired == 0 {
+			cell = "repair declined by measured trials"
+			if r.TrialNote != "" {
+				cell += " (" + r.TrialNote + ")"
+			}
+		}
 		if r.NoBenefit {
 			cell = "fix did not beat native at this scale"
+			if r.TrialNote != "" {
+				cell += " (" + r.TrialNote + ")"
+			}
 		}
 		t.Row(r.Workload, r.Mode, cell)
 	}
@@ -313,7 +430,7 @@ var fig12Spec = &Spec{
 	Enumerate: func(cfg Config) []WorkUnit {
 		u := newUnitSet()
 		for _, name := range workloadNames() {
-			u.laser(name, cfg.PerfScale, false, laserSAV, 1)
+			u.laser(name, cfg.PerfScale, false, false, laserSAV, 1)
 			u.native(name, cfg.PerfScale, workload.Native)
 		}
 		return u.units
@@ -339,7 +456,7 @@ func RunFigure12(cfg Config) ([]Fig12Row, error) {
 	intra := intraRunWorkers(len(names))
 	err := forEach(len(names), func(i int) error {
 		name := names[i]
-		res, err := runLaser(name, cfg.PerfScale, false, laserSAV, 1, intra)
+		res, err := runLaser(name, cfg.PerfScale, false, false, laserSAV, 1, intra)
 		if err != nil {
 			return fmt.Errorf("fig12 %s: %w", name, err)
 		}
@@ -409,7 +526,7 @@ var fig13Spec = &Spec{
 		u.native("dedup", cfg.PerfScale, workload.Native)
 		for _, sav := range fig13SAVs {
 			for seed := 1; seed <= runsOf(cfg); seed++ {
-				u.laser("dedup", cfg.PerfScale, false, sav, int64(seed))
+				u.laser("dedup", cfg.PerfScale, false, false, sav, int64(seed))
 			}
 		}
 		return u.units
@@ -441,7 +558,7 @@ func RunFigure13(cfg Config) ([]Fig13Point, error) {
 	err := forEach(len(savs), func(i int) error {
 		sav := savs[i]
 		norm, err := normalizedRuntime(cfg, "dedup", intra, func(seed int64) (uint64, error) {
-			res, err := runLaser("dedup", cfg.PerfScale, false, sav, seed, intra)
+			res, err := runLaser("dedup", cfg.PerfScale, false, false, sav, seed, intra)
 			if err != nil {
 				return 0, err
 			}
@@ -490,7 +607,7 @@ var fig14Spec = &Spec{
 			w, _ := workload.Get(name)
 			u.native(name, cfg.PerfScale, workload.Native)
 			for seed := 1; seed <= runsOf(cfg); seed++ {
-				u.laser(name, cfg.PerfScale, true, laserSAV, int64(seed))
+				u.laser(name, cfg.PerfScale, true, false, laserSAV, int64(seed))
 			}
 			if w.HasFix {
 				u.native(name, cfg.PerfScale, workload.Fixed)
@@ -550,7 +667,7 @@ func RunFigure14(cfg Config) ([]Fig14Row, error) {
 		row := Fig14Row{Workload: name}
 		var err error
 		row.Laser, err = normalizedRuntime(cfg, name, intra, func(seed int64) (uint64, error) {
-			res, err := runLaser(name, cfg.PerfScale, true, laserSAV, seed, intra)
+			res, err := runLaser(name, cfg.PerfScale, true, false, laserSAV, seed, intra)
 			if err != nil {
 				return 0, err
 			}

@@ -137,11 +137,21 @@ func (u *unitSet) native(name string, scale float64, v workload.Variant) {
 		func(intra int) error { _, err := runNative(name, scale, v, intra); return err })
 }
 
-func (u *unitSet) laser(name string, scale float64, repairOn bool, sav int, seed int64) {
-	key, _ := laserKey(name, scale, repairOn, sav, seed)
+func (u *unitSet) laser(name string, scale float64, repairOn, spec bool, sav int, seed int64) {
+	key, _ := laserKey(name, scale, repairOn, spec, sav, seed)
+	label := fmt.Sprintf("laser/%s@%g/repair=%t/sav%d/seed%d", name, scale, repairOn, sav, seed)
+	if spec && repairOn {
+		label += "/spec"
+	}
+	u.add(key, simCost("laser", name, scale), label,
+		func(intra int) error { _, err := runLaser(name, scale, repairOn, spec, sav, seed, intra); return err })
+}
+
+func (u *unitSet) laserProbe(name string, scale float64, sav int, seed int64) {
+	key, _ := laserProbeKey(name, scale, sav, seed)
 	u.add(key, simCost("laser", name, scale),
-		fmt.Sprintf("laser/%s@%g/repair=%t/sav%d/seed%d", name, scale, repairOn, sav, seed),
-		func(intra int) error { _, err := runLaser(name, scale, repairOn, sav, seed, intra); return err })
+		fmt.Sprintf("laser/%s@%g/probe/sav%d/seed%d", name, scale, sav, seed),
+		func(intra int) error { _, err := runLaserProbe(name, scale, sav, seed, intra); return err })
 }
 
 func (u *unitSet) vtune(name string, scale float64, seed int64) {

@@ -71,11 +71,33 @@ type Plan struct {
 	EstStoresPerFlush float64
 }
 
+// flushPlacement selects which of the legal flush blocks the plan uses.
+// Every legal block post-dominates the whole contending region, so any
+// choice is sound; the choice trades flush frequency against SSB
+// residency (how long stores stay buffered before becoming visible).
+type flushPlacement int
+
+const (
+	// flushNearest: the block every other candidate post-dominates — the
+	// first point past the contending region. Today's behavior, and the
+	// paper's (§5.3): flush as soon as the region is left.
+	flushNearest flushPlacement = iota
+	// flushFarthest: the block that post-dominates every other candidate
+	// — the last legal point. Stores batch in the SSB across the larger
+	// region and become visible in one reordered burst, the
+	// access-reordering candidate's plan.
+	flushFarthest
+)
+
 // Analyze runs the §5.3 analysis: locate the basic blocks containing the
 // contending PCs, extend to the reachable subgraph not dominated by a
 // flush, choose flush points that post-dominate the modified blocks, run
 // speculative alias analysis, and estimate profitability.
 func Analyze(cfg Config, prog *isa.Program, pcs []mem.Addr) (*Plan, error) {
+	return analyze(cfg, prog, pcs, flushNearest)
+}
+
+func analyze(cfg Config, prog *isa.Program, pcs []mem.Addr, place flushPlacement) (*Plan, error) {
 	idxs := contendingIndices(prog, pcs)
 	if len(idxs) == 0 {
 		return nil, ErrNoCandidates
@@ -134,17 +156,28 @@ func Analyze(cfg Config, prog *isa.Program, pcs []mem.Addr) (*Plan, error) {
 		}
 	}
 	// Nearest candidate: the one every other candidate post-dominates.
+	// Farthest: the one that post-dominates every other candidate.
 	sort.Ints(candidates)
 	flushBlock := -1
 	for _, c := range candidates {
-		nearest := true
+		best := true
 		for _, o := range candidates {
-			if o != c && !pdom[c][o] {
-				nearest = false
+			if o == c {
+				continue
+			}
+			var ok bool
+			switch place {
+			case flushFarthest:
+				ok = pdom[o][c]
+			default:
+				ok = pdom[c][o]
+			}
+			if !ok {
+				best = false
 				break
 			}
 		}
-		if nearest {
+		if best {
 			flushBlock = c
 			break
 		}

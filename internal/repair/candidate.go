@@ -1,0 +1,96 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// ErrDeclined is returned by the decline candidate's Analyze: the
+// candidate proposes leaving the program alone. A trial harness treats
+// it as the measured no-op baseline rather than a failure.
+var ErrDeclined = errors.New("repair: candidate declines to rewrite")
+
+// A Candidate is one competing repair strategy. Given the detector's
+// contending PCs it produces a deterministic rewrite plan (or refuses).
+// Candidates are pure: the same (cfg, prog, pcs) always yields the same
+// plan, so a trial's outcome is reproducible from its inputs.
+type Candidate interface {
+	// Name is the candidate's stable identifier; it orders trials,
+	// names winners in events, and round-trips through session state.
+	Name() string
+	// Analyze produces the candidate's plan from the §5.3 analysis, or
+	// an error when the candidate refuses the region (ErrDeclined for
+	// the deliberate no-op).
+	Analyze(cfg Config, prog *isa.Program, pcs []mem.Addr) (*Plan, error)
+}
+
+// ssbCandidate is today's repair: SSB instrumentation with the flush at
+// the nearest post-dominator, speculative alias analysis as configured.
+type ssbCandidate struct{}
+
+func (ssbCandidate) Name() string { return "ssb" }
+func (ssbCandidate) Analyze(cfg Config, prog *isa.Program, pcs []mem.Addr) (*Plan, error) {
+	return analyze(cfg, prog, pcs, flushNearest)
+}
+
+// conservativeCandidate is the SSB rewrite with speculative alias
+// analysis forced off: every load in the region goes through the SSB,
+// trading throughput for immunity to alias-check misspeculation.
+type conservativeCandidate struct{}
+
+func (conservativeCandidate) Name() string { return "ssb-conservative" }
+func (conservativeCandidate) Analyze(cfg Config, prog *isa.Program, pcs []mem.Addr) (*Plan, error) {
+	cfg.SpeculativeAliasing = false
+	return analyze(cfg, prog, pcs, flushNearest)
+}
+
+// reorderCandidate is the access-reordering strategy: the same SSB
+// machinery, but the flush lands at the farthest legal post-dominator,
+// so stores batch across the widest region and become visible in one
+// reordered burst instead of at the first region exit.
+type reorderCandidate struct{}
+
+func (reorderCandidate) Name() string { return "reorder" }
+func (reorderCandidate) Analyze(cfg Config, prog *isa.Program, pcs []mem.Addr) (*Plan, error) {
+	return analyze(cfg, prog, pcs, flushFarthest)
+}
+
+// declineCandidate is the explicit no-op: leave the program as is. Its
+// trial is the baseline every rewrite must measurably beat.
+type declineCandidate struct{}
+
+func (declineCandidate) Name() string { return "decline" }
+func (declineCandidate) Analyze(Config, *isa.Program, []mem.Addr) (*Plan, error) {
+	return nil, ErrDeclined
+}
+
+// DeclineName is the decline candidate's name, exported so layers above
+// can recognize the measured-decline outcome without string literals.
+const DeclineName = "decline"
+
+// Candidates returns the full candidate slate in canonical trial order.
+func Candidates() []Candidate {
+	return []Candidate{ssbCandidate{}, conservativeCandidate{}, reorderCandidate{}, declineCandidate{}}
+}
+
+// DefaultCandidate is the strategy installed when no trials run: the
+// paper's SSB rewrite.
+func DefaultCandidate() Candidate { return ssbCandidate{} }
+
+// CandidateByName resolves a candidate from its stable name. The empty
+// name resolves to the default candidate, so state blobs from before
+// the candidate refactor restore unchanged.
+func CandidateByName(name string) (Candidate, error) {
+	if name == "" {
+		return DefaultCandidate(), nil
+	}
+	for _, c := range Candidates() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("repair: unknown candidate %q", name)
+}

@@ -19,6 +19,11 @@ type Controller struct {
 	m    *machine.Machine
 	orig *isa.Program
 
+	// cand is the repair strategy in force; every analysis (install,
+	// extend, restore) routes through it. Nil until the first apply,
+	// which defaults it to the paper's SSB rewrite.
+	cand Candidate
+
 	applied      bool
 	conservative bool
 	// plans and fnPCs hold the per-function analysis results accumulated
@@ -47,6 +52,15 @@ func (c *Controller) Conservative() bool { return c.conservative }
 // when to refresh its PC remap table.
 func (c *Controller) Generation() int { return c.gen }
 
+// Candidate returns the name of the installed repair strategy, or the
+// empty string when no rewrite is installed.
+func (c *Controller) Candidate() string {
+	if !c.applied || c.cand == nil {
+		return ""
+	}
+	return c.cand.Name()
+}
+
 // Apply analyzes the contending PCs and, if the plan is profitable,
 // hot-swaps the instrumented program into the machine. The first call
 // analyzes the PCs as one region, exactly as the one-shot system does.
@@ -56,13 +70,26 @@ func (c *Controller) Generation() int { return c.gen }
 // multi-epoch path. A call that adds nothing is a no-op (check
 // Generation to distinguish it from a fresh install).
 func (c *Controller) Apply(pcs []mem.Addr) error {
+	return c.ApplyCandidate(nil, pcs)
+}
+
+// ApplyCandidate is Apply with an explicit repair strategy: the first
+// install analyzes under cand (nil means the default SSB rewrite) and
+// records it as the strategy every later extension and restore reuses.
+// Once a rewrite is installed the installed strategy is authoritative
+// and cand is ignored — trials race candidates only on first install.
+func (c *Controller) ApplyCandidate(cand Candidate, pcs []mem.Addr) error {
 	if c.applied {
 		return c.extend(pcs)
 	}
-	plan, err := Analyze(c.cfg, c.orig, pcs)
+	if cand == nil {
+		cand = DefaultCandidate()
+	}
+	plan, err := cand.Analyze(c.cfg, c.orig, pcs)
 	if err != nil {
 		return err
 	}
+	c.cand = cand
 	c.plans = map[string]*Plan{plan.Fn.Name: plan}
 	c.fnPCs = map[string][]mem.Addr{plan.Fn.Name: append([]mem.Addr(nil), pcs...)}
 	c.install()
@@ -90,7 +117,7 @@ func (c *Controller) extend(pcs []mem.Addr) error {
 		if len(union) == len(c.fnPCs[g.fn.Name]) {
 			continue
 		}
-		plan, err := Analyze(cfg, c.orig, union)
+		plan, err := c.cand.Analyze(cfg, c.orig, union)
 		if err != nil {
 			return err
 		}
@@ -163,7 +190,7 @@ func (c *Controller) OnAliasMiss(tid int, pc mem.Addr) {
 	cfg.SpeculativeAliasing = false
 	plans := make(map[string]*Plan, len(c.plans))
 	for name, pcs := range c.fnPCs {
-		plan, err := Analyze(cfg, c.orig, pcs)
+		plan, err := c.cand.Analyze(cfg, c.orig, pcs)
 		if err != nil {
 			// The conservative plan can be unprofitable; undo the repair.
 			c.undo()
@@ -182,6 +209,7 @@ func (c *Controller) undo() {
 	c.m.SetProgram(c.orig, func(i int) int { return prevRev[i] })
 	c.applied = false
 	c.conservative = false
+	c.cand = nil
 	c.revToOrig = nil
 	c.plans = nil
 	c.fnPCs = nil

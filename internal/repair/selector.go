@@ -1,0 +1,128 @@
+package repair
+
+import "sort"
+
+// TrialResult is the measured outcome of running one candidate's fork
+// for the trial budget: the deltas between the fork's exit statistics
+// and the capture point. Err carries the reason a candidate never ran
+// (analysis refused, install failed); such trials are out of the race.
+type TrialResult struct {
+	Candidate    string
+	Cycles       uint64
+	Instructions uint64
+	HITMs        uint64
+	// Completed reports that the fork's workload finished inside the
+	// budget, making Cycles a true time-to-completion.
+	Completed bool
+	Err       string
+}
+
+// minTrialGain is the fraction by which a rewrite's measured trial must
+// beat the decline baseline to be applied: a fix inside the noise band
+// is a measured decline, the honest rendering of "fix did not beat
+// native".
+const minTrialGain = 0.02
+
+// SelectWinner picks the winning candidate from trial results. It is a
+// pure deterministic function of (seed, results-as-a-set): results are
+// canonicalized by candidate name first, so the completion order of the
+// trial forks cannot change the winner, and the same seed with the same
+// measurements always names the same candidate byte-identically.
+//
+// Rules, in order: trials that errored are out. Completed trials beat
+// incomplete ones (they finished the workload inside the budget).
+// Between completed trials, fewer cycles wins; between incomplete ones,
+// higher instructions-per-cycle throughput wins. Exact measurement ties
+// break to the candidate earlier in the canonical slate order
+// (Candidates()), so an identically-measured race settles on the
+// paper's default SSB rewrite rather than an accident of name sorting.
+// Finally, a rewrite only wins if it beats the decline baseline by
+// minTrialGain on the same metric — otherwise the measured decline
+// stands.
+func SelectWinner(seed int64, results []TrialResult) string {
+	_ = seed // part of the reproducibility contract: same (seed, results) → same winner
+	rs := append([]TrialResult(nil), results...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Candidate < rs[j].Candidate })
+
+	var baseline *TrialResult
+	for i := range rs {
+		if rs[i].Candidate == DeclineName && rs[i].Err == "" {
+			baseline = &rs[i]
+			break
+		}
+	}
+	best := -1
+	for i := range rs {
+		if rs[i].Err != "" {
+			continue
+		}
+		if best < 0 || better(rs[i], rs[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return DeclineName
+	}
+	w := rs[best]
+	if w.Candidate == DeclineName || baseline == nil {
+		return w.Candidate
+	}
+	// The winner must clear the baseline by the margin, on the metric
+	// the pair shares.
+	switch {
+	case w.Completed && baseline.Completed:
+		if float64(w.Cycles) <= float64(baseline.Cycles)*(1-minTrialGain) {
+			return w.Candidate
+		}
+	case w.Completed && !baseline.Completed:
+		// Finishing inside a budget the baseline exhausted is a
+		// categorical win; no margin applies.
+		return w.Candidate
+	default:
+		if rate(w) >= rate(*baseline)*(1+minTrialGain) {
+			return w.Candidate
+		}
+	}
+	return DeclineName
+}
+
+// better reports whether a outranks b under the selection rules.
+func better(a, b TrialResult) bool {
+	if a.Completed != b.Completed {
+		return a.Completed
+	}
+	if a.Completed {
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+	} else {
+		ra, rb := rate(a), rate(b)
+		if ra != rb {
+			return ra > rb
+		}
+	}
+	if ra, rb := canonicalRank(a.Candidate), canonicalRank(b.Candidate); ra != rb {
+		return ra < rb
+	}
+	return a.Candidate < b.Candidate
+}
+
+// canonicalRank is a candidate's position in the canonical slate;
+// unknown names rank last (and fall back to name order among
+// themselves).
+func canonicalRank(name string) int {
+	for i, c := range Candidates() {
+		if c.Name() == name {
+			return i
+		}
+	}
+	return len(Candidates())
+}
+
+// rate is an incomplete trial's instructions-per-cycle throughput.
+func rate(r TrialResult) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}

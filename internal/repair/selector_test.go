@@ -1,0 +1,146 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tr builds a TrialResult tersely for the tables below.
+func tr(name string, cycles, instr uint64, completed bool, err string) TrialResult {
+	return TrialResult{Candidate: name, Cycles: cycles, Instructions: instr, Completed: completed, Err: err}
+}
+
+// TestSelectWinnerTable pins the selection semantics case by case.
+func TestSelectWinnerTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		results []TrialResult
+		want    string
+	}{
+		{
+			name: "completed rewrite clearing the margin wins",
+			results: []TrialResult{
+				tr("ssb", 700, 0, true, ""),
+				tr("decline", 1000, 0, true, ""),
+			},
+			want: "ssb",
+		},
+		{
+			name: "rewrite inside the noise band is a decline",
+			results: []TrialResult{
+				tr("ssb", 990, 0, true, ""),
+				tr("decline", 1000, 0, true, ""),
+			},
+			want: DeclineName,
+		},
+		{
+			name: "completing inside a budget the baseline exhausted is categorical",
+			results: []TrialResult{
+				tr("ssb", 900, 500, true, ""),
+				tr("decline", 1000, 800, false, ""),
+			},
+			want: "ssb",
+		},
+		{
+			name: "incomplete trials race on throughput",
+			results: []TrialResult{
+				tr("ssb", 1000, 900, false, ""),
+				tr("reorder", 1000, 400, false, ""),
+				tr("decline", 1000, 500, false, ""),
+			},
+			want: "ssb",
+		},
+		{
+			name: "errored trials are out of the race",
+			results: []TrialResult{
+				tr("ssb", 1, 1, true, "install failed"),
+				tr("decline", 1000, 0, true, ""),
+			},
+			want: DeclineName,
+		},
+		{
+			name:    "no results at all declines",
+			results: nil,
+			want:    DeclineName,
+		},
+		{
+			name: "exact tie settles on the canonical slate order, not name order",
+			results: []TrialResult{
+				tr("reorder", 700, 300, true, ""),
+				tr("ssb", 700, 300, true, ""),
+				tr("decline", 1000, 0, true, ""),
+			},
+			want: "ssb",
+		},
+		{
+			name: "incomplete throughput tie also settles canonically",
+			results: []TrialResult{
+				tr("reorder", 1000, 900, false, ""),
+				tr("ssb", 1000, 900, false, ""),
+				tr("decline", 1000, 100, false, ""),
+			},
+			want: "ssb",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SelectWinner(1, tc.results); got != tc.want {
+				t.Errorf("SelectWinner = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSelectWinnerOrderInvariance is the selector's purity property: for
+// many random result sets, every permutation of the slice must name the
+// same winner — the completion order of trial forks can never leak into
+// the selection.
+func TestSelectWinnerOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"ssb", "ssb-conservative", "reorder", DeclineName}
+	for iter := 0; iter < 500; iter++ {
+		var results []TrialResult
+		for _, n := range names {
+			r := tr(n, uint64(rng.Intn(4)+1)*500, uint64(rng.Intn(3))*400, rng.Intn(2) == 0, "")
+			if rng.Intn(5) == 0 {
+				r.Err = "refused"
+			}
+			results = append(results, r)
+		}
+		seed := int64(rng.Intn(3))
+		want := SelectWinner(seed, results)
+		for p := 0; p < 8; p++ {
+			shuffled := append([]TrialResult(nil), results...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			if got := SelectWinner(seed, shuffled); got != want {
+				t.Fatalf("iter %d: permutation changed winner: %q vs %q\nresults: %+v", iter, got, want, results)
+			}
+		}
+		// Same inputs, same winner: no hidden state between calls.
+		if again := SelectWinner(seed, results); again != want {
+			t.Fatalf("iter %d: repeated call changed winner: %q vs %q", iter, again, want)
+		}
+	}
+}
+
+// TestSelectWinnerNeverPicksErrored: whatever the measurements, a trial
+// that errored can never be named winner — except the decline fallback,
+// which is the no-action outcome rather than a measured win.
+func TestSelectWinnerNeverPicksErrored(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		var results []TrialResult
+		errored := map[string]bool{}
+		for _, n := range []string{"ssb", "reorder", DeclineName} {
+			r := tr(n, uint64(rng.Intn(5))*300, uint64(rng.Intn(5))*200, rng.Intn(2) == 0, "")
+			if rng.Intn(2) == 0 {
+				r.Err = "refused"
+				errored[n] = true
+			}
+			results = append(results, r)
+		}
+		if got := SelectWinner(0, results); got != DeclineName && errored[got] {
+			t.Fatalf("iter %d: winner %q had errored: %+v", iter, got, results)
+		}
+	}
+}

@@ -25,13 +25,18 @@ type FnPCs struct {
 type State struct {
 	Applied      bool
 	Conservative bool
-	Gen          int
-	Fns          []FnPCs // sorted by function name
+	// Candidate is the installed repair strategy's name; empty means
+	// the default SSB rewrite (and keeps pre-candidate snapshots
+	// restoring unchanged).
+	Candidate string
+	Gen       int
+	Fns       []FnPCs // sorted by function name
 }
 
 // CaptureState snapshots the controller.
 func (c *Controller) CaptureState() *State {
-	st := &State{Applied: c.applied, Conservative: c.conservative, Gen: c.gen}
+	st := &State{Applied: c.applied, Conservative: c.conservative,
+		Candidate: c.Candidate(), Gen: c.gen}
 	for name, pcs := range c.fnPCs {
 		st.Fns = append(st.Fns, FnPCs{Fn: name, PCs: append([]mem.Addr(nil), pcs...)})
 	}
@@ -54,6 +59,10 @@ func (c *Controller) RestoreState(st *State) error {
 		c.gen = st.Gen
 		return nil
 	}
+	cand, err := CandidateByName(st.Candidate)
+	if err != nil {
+		return err
+	}
 	cfg := c.cfg
 	if st.Conservative {
 		cfg.SpeculativeAliasing = false
@@ -61,7 +70,7 @@ func (c *Controller) RestoreState(st *State) error {
 	c.plans = make(map[string]*Plan, len(st.Fns))
 	c.fnPCs = make(map[string][]mem.Addr, len(st.Fns))
 	for _, f := range st.Fns {
-		plan, err := Analyze(cfg, c.orig, f.PCs)
+		plan, err := cand.Analyze(cfg, c.orig, f.PCs)
 		if err != nil {
 			c.plans, c.fnPCs = nil, nil
 			return fmt.Errorf("repair: re-analyzing %s from snapshot: %w", f.Fn, err)
@@ -73,6 +82,7 @@ func (c *Controller) RestoreState(st *State) error {
 		c.plans[f.Fn] = plan
 		c.fnPCs[f.Fn] = append([]mem.Addr(nil), f.PCs...)
 	}
+	c.cand = cand
 	c.install()
 	c.applied = true
 	c.conservative = st.Conservative

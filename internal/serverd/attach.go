@@ -103,6 +103,8 @@ type AttachOptions struct {
 	Repair               *bool    `json:"repair,omitempty"`
 	PostRepairMonitoring *bool    `json:"post_repair_monitoring,omitempty"`
 	IntraRunParallelism  *int     `json:"intra_run_parallelism,omitempty"`
+	SpeculativeRepair    *bool    `json:"speculative_repair,omitempty"`
+	TrialBudget          *uint64  `json:"trial_budget,omitempty"`
 }
 
 // AttachRequest is the body of POST /sessions: a workload by name or an
@@ -227,6 +229,12 @@ func (r *AttachRequest) SessionOptions(budget uint64) ([]laser.Option, uint64) {
 	}
 	if o.IntraRunParallelism != nil {
 		opts = append(opts, laser.WithIntraRunParallelism(*o.IntraRunParallelism))
+	}
+	if o.SpeculativeRepair != nil {
+		opts = append(opts, laser.WithSpeculativeRepair(*o.SpeculativeRepair))
+	}
+	if o.TrialBudget != nil {
+		opts = append(opts, laser.WithTrialBudget(*o.TrialBudget))
 	}
 	return opts, maxCycles
 }

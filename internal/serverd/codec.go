@@ -84,12 +84,33 @@ type repairAppliedJSON struct {
 	Cycle        uint64 `json:"cycle"`
 	Epoch        int    `json:"epoch"`
 	Conservative bool   `json:"conservative"`
+	Candidate    string `json:"candidate"`
 }
 
 type repairDeclinedJSON struct {
-	Cycle uint64 `json:"cycle"`
-	Epoch int    `json:"epoch"`
-	Error string `json:"error"`
+	Cycle  uint64 `json:"cycle"`
+	Epoch  int    `json:"epoch"`
+	Error  string `json:"error"`
+	Winner string `json:"winner"`
+}
+
+type repairTrialStartedJSON struct {
+	Cycle      uint64   `json:"cycle"`
+	Epoch      int      `json:"epoch"`
+	Candidates []string `json:"candidates"`
+	Budget     uint64   `json:"budget"`
+}
+
+type repairTrialResultJSON struct {
+	Cycle        uint64 `json:"cycle"`
+	Epoch        int    `json:"epoch"`
+	Candidate    string `json:"candidate"`
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	HITMs        uint64 `json:"hitms"`
+	Completed    bool   `json:"completed"`
+	Winner       bool   `json:"winner"`
+	Error        string `json:"error"`
 }
 
 type epochEndJSON struct {
@@ -112,6 +133,10 @@ func EventName(e laser.Event) string {
 		return "RepairApplied"
 	case laser.RepairDeclined:
 		return "RepairDeclined"
+	case laser.RepairTrialStarted:
+		return "RepairTrialStarted"
+	case laser.RepairTrialResult:
+		return "RepairTrialResult"
 	case laser.EpochEnd:
 		return "EpochEnd"
 	default:
@@ -135,9 +160,15 @@ func EncodeEventData(e laser.Event) []byte {
 		}
 		v = repairTriggeredJSON{ev.When(), ev.Epoch(), cands}
 	case laser.RepairApplied:
-		v = repairAppliedJSON{ev.When(), ev.Epoch(), ev.Conservative}
+		v = repairAppliedJSON{ev.When(), ev.Epoch(), ev.Conservative, ev.Candidate}
 	case laser.RepairDeclined:
-		v = repairDeclinedJSON{ev.When(), ev.Epoch(), ev.Err.Error()}
+		v = repairDeclinedJSON{ev.When(), ev.Epoch(), ev.Err.Error(), ev.Winner}
+	case laser.RepairTrialStarted:
+		cands := append([]string{}, ev.Candidates...)
+		v = repairTrialStartedJSON{ev.When(), ev.Epoch(), cands, ev.Budget}
+	case laser.RepairTrialResult:
+		v = repairTrialResultJSON{ev.When(), ev.Epoch(), ev.Candidate, ev.Cycles,
+			ev.Instructions, ev.HITMs, ev.Completed, ev.Winner, ev.Err}
 	case laser.EpochEnd:
 		v = epochEndJSON{ev.When(), ev.Epoch(), ev.Repaired, encodeReport(ev.Report)}
 	default:

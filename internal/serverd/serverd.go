@@ -124,6 +124,8 @@ type serverMetrics struct {
 	eventsEmitted    *metrics.Counter
 	eventsDelivered  *metrics.Counter
 	eventsDropped    *metrics.Counter
+	repairTrials     *metrics.Counter
+	repairTrialsWon  *metrics.Counter
 	runsPending      *metrics.Gauge
 	workersBusy      *metrics.Gauge
 	streamsActive    *metrics.Gauge
@@ -149,6 +151,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		eventsEmitted:    r.NewCounter("laserd_events_emitted_total", "Events appended to session event logs."),
 		eventsDelivered:  r.NewCounter("laserd_events_delivered_total", "Event frames written to SSE streams."),
 		eventsDropped:    r.NewCounter("laserd_events_dropped_total", "Event frames rotated out of bounded backlogs."),
+		repairTrials:     r.NewCounter("laserd_repair_trials_total", "Speculative repair trials run across all sessions."),
+		repairTrialsWon:  r.NewCounter("laserd_repair_trials_won", "Speculative repair trials whose candidate was selected."),
 		runsPending:      r.NewGauge("laserd_runs_pending", "Run requests admitted and not yet finished."),
 		workersBusy:      r.NewGauge("laserd_workers_busy", "Simulation worker slots in use."),
 		streamsActive:    r.NewGauge("laserd_streams_active", "SSE event streams currently open."),

@@ -202,6 +202,12 @@ func (h *hosted) observe(e laser.Event) {
 		h.srv.met.eventsDropped.Add(uint64(dropped))
 	}
 	h.srv.met.eventsEmitted.Inc()
+	if tr, ok := e.(laser.RepairTrialResult); ok {
+		h.srv.met.repairTrials.Inc()
+		if tr.Winner {
+			h.srv.met.repairTrialsWon.Inc()
+		}
+	}
 	h.lastActive = now.UnixNano()
 }
 

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/repair"
 	"repro/laser"
 )
 
@@ -57,6 +58,21 @@ func namedHistogram(seed int64) AttachRequest {
 	}
 }
 
+// namedSpeculative attaches linear_regression with speculative repair
+// on, without the attach-time heap bias, at a scale where the §4.4
+// trigger fires: the session runs a full four-candidate trial race and
+// emits the trial event protocol over the wire.
+func namedSpeculative(seed int64) AttachRequest {
+	spec := true
+	bias := false
+	return AttachRequest{
+		Workload: "linear_regression",
+		Scale:    0.6,
+		HeapBias: &bias,
+		Options:  AttachOptions{Seed: &seed, SpeculativeRepair: &spec},
+	}
+}
+
 // collectSSE runs the session and reads its whole event stream.
 func collectSSE(t *testing.T, base, id, query string) []byte {
 	t.Helper()
@@ -88,6 +104,7 @@ func TestSSEDeterminismMatchesInProcess(t *testing.T) {
 	}{
 		{"custom image", denseCustom(42)},
 		{"named workload", namedHistogram(42)},
+		{"speculative session", namedSpeculative(42)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			want := referenceStream(t, tc.req, budget)
@@ -109,6 +126,57 @@ func TestSSEDeterminismMatchesInProcess(t *testing.T) {
 				t.Fatal("replayed SSE bytes diverge from in-process stream")
 			}
 		})
+	}
+}
+
+// TestSSESpeculativeTrialEventsAndMetrics pins the wire-visible half of
+// the speculative-repair protocol: the SSE stream of a trial-running
+// session carries the RepairTrialStarted announcement and one
+// RepairTrialResult per slate candidate in canonical order, and the
+// server's trial counters advance to match.
+func TestSSESpeculativeTrialEventsAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := attachT(t, ts.URL, namedSpeculative(7), http.StatusCreated)
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/sessions/"+st.ID+"/run", nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("run = %d", resp.StatusCode)
+	}
+	waitState(t, ts.URL, st.ID, "done")
+
+	raw := collectSSE(t, ts.URL, st.ID, "?from=0")
+	if n := bytes.Count(raw, []byte("event: RepairTrialStarted\n")); n != 1 {
+		t.Errorf("RepairTrialStarted frames = %d, want 1", n)
+	}
+	slate := repair.Candidates()
+	if n := bytes.Count(raw, []byte("event: RepairTrialResult\n")); n != len(slate) {
+		t.Errorf("RepairTrialResult frames = %d, want %d (one per candidate)", n, len(slate))
+	}
+	// The result frames appear in canonical slate order regardless of
+	// which trial fork finished first.
+	pos := -1
+	for _, c := range slate {
+		at := bytes.Index(raw, []byte(`"candidate":"`+c.Name()+`"`))
+		if at < 0 {
+			t.Fatalf("stream has no trial result for %q:\n%.600s", c.Name(), raw)
+		}
+		if at < pos {
+			t.Fatalf("trial result for %q out of canonical order", c.Name())
+		}
+		pos = at
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"laserd_repair_trials_total 4",
+		"laserd_repair_trials_won 1",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }
 

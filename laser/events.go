@@ -82,23 +82,70 @@ type RepairApplied struct {
 	// Conservative is true when the installed rewrite has speculative
 	// alias analysis disabled (the §5.3 fallback).
 	Conservative bool
+	// Candidate names the installed repair strategy ("ssb" on the
+	// direct path; the winning trial's candidate under speculative
+	// repair).
+	Candidate string
 }
 
 func (e RepairApplied) String() string {
-	return fmt.Sprintf("[%d] repair applied (epoch %d)", e.Cycle, e.EpochIndex)
+	return fmt.Sprintf("[%d] repair applied: %s (epoch %d)", e.Cycle, e.Candidate, e.EpochIndex)
 }
 
-// RepairDeclined reports that a triggered repair was refused by the
-// static analysis (unprofitable, or the region is too complex). The
-// session stops re-triggering afterwards; Err is also recorded as the
-// Result's RepairErr.
+// RepairDeclined reports that a triggered repair was refused: by the
+// static analysis (unprofitable, or the region is too complex), or —
+// under speculative repair — because no measured trial beat the no-op
+// baseline. The session stops re-triggering afterwards; Err is also
+// recorded as the Result's RepairErr.
 type RepairDeclined struct {
 	common
 	Err error
+	// Winner is the trial winner's name when the decline is a measured
+	// one ("decline"); empty on the static-analysis path.
+	Winner string
 }
 
 func (e RepairDeclined) String() string {
 	return fmt.Sprintf("[%d] repair declined: %v (epoch %d)", e.Cycle, e.Err, e.EpochIndex)
+}
+
+// RepairTrialStarted reports that speculative repair forked the session
+// to race candidate fixes from the trigger cut.
+type RepairTrialStarted struct {
+	common
+	// Candidates are the strategy names racing, in canonical order.
+	Candidates []string
+	// Budget is the simulated-cycle budget each trial fork may run.
+	Budget uint64
+}
+
+func (e RepairTrialStarted) String() string {
+	return fmt.Sprintf("[%d] repair trials started: %d candidates, budget %d cycles (epoch %d)",
+		e.Cycle, len(e.Candidates), e.Budget, e.EpochIndex)
+}
+
+// RepairTrialResult carries one candidate's measured trial outcome: the
+// cycle/instruction/HITM deltas its fork accumulated over the trial
+// budget. One result is emitted per candidate, in canonical order,
+// after every fork has finished.
+type RepairTrialResult struct {
+	common
+	Candidate    string
+	Cycles       uint64
+	Instructions uint64
+	HITMs        uint64
+	// Completed reports that the fork ran the workload to completion
+	// inside the budget.
+	Completed bool
+	// Winner marks the candidate the selector chose.
+	Winner bool
+	// Err is why the candidate never ran (analysis refused), or empty.
+	Err string
+}
+
+func (e RepairTrialResult) String() string {
+	return fmt.Sprintf("[%d] repair trial %s: cycles=%d hitms=%d completed=%v winner=%v (epoch %d)",
+		e.Cycle, e.Candidate, e.Cycles, e.HITMs, e.Completed, e.Winner, e.EpochIndex)
 }
 
 // EpochEnd closes a detection epoch: after a repair hot-swap (Repaired

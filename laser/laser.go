@@ -65,6 +65,17 @@ type Config struct {
 	// 0 means "entry point's default": 1 (the paper's one-shot pass) for
 	// the Run wrappers, DefaultMaxEpochs for Attach.
 	MaxEpochs int
+	// SpeculativeRepair races competing repair candidates when the §4.4
+	// trigger first fires: the session forks itself from the trigger
+	// cut, runs one bounded trial per candidate (plus a no-op
+	// baseline), and applies the measured winner — or declines with
+	// measured numbers. Off, repair installs the default SSB rewrite
+	// directly (the historical behaviour, zero added cost).
+	SpeculativeRepair bool
+	// TrialBudget is the simulated-cycle budget each speculative trial
+	// fork may run. 0 derives 4 poll intervals at trial time, so the
+	// budget follows the session's resolved cadence.
+	TrialBudget uint64
 }
 
 // DefaultConfig matches the paper's evaluation setup: SAV 19, 1K HITMs/s
@@ -140,6 +151,12 @@ type Result struct {
 	// RepairErr records why a triggered repair was refused (nil if repair
 	// never triggered or succeeded).
 	RepairErr error
+	// RepairWinner names the candidate the speculative trials selected
+	// ("decline" for a measured decline); empty when trials never ran.
+	RepairWinner string
+	// RepairTrials carries the measured outcome of every speculative
+	// trial, in canonical candidate order; nil when trials never ran.
+	RepairTrials []repair.TrialResult
 	// Seconds is the simulated duration.
 	Seconds float64
 	// DriverStats and PEBSStats expose the monitoring cost components

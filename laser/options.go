@@ -189,6 +189,33 @@ func WithPostRepairMonitoring(enabled bool) Option {
 	}
 }
 
+// WithSpeculativeRepair enables racing repair candidates when the §4.4
+// trigger first fires: the session forks itself from the trigger cut,
+// runs one bounded trial per candidate against a no-op baseline, and
+// applies the measured winner (emitting RepairTrialStarted /
+// RepairTrialResult along the way) — or declines with measured numbers.
+// Disabled, repair installs the default SSB rewrite directly; the off
+// path costs nothing.
+func WithSpeculativeRepair(enabled bool) Option {
+	return func(s *settings) error {
+		s.cfg.SpeculativeRepair = enabled
+		return nil
+	}
+}
+
+// WithTrialBudget sets the simulated-cycle budget each speculative
+// repair trial may run before it is scored as incomplete. The default
+// (zero) derives four poll intervals at trial time.
+func WithTrialBudget(cycles uint64) Option {
+	return func(s *settings) error {
+		if cycles == 0 {
+			return fmt.Errorf("WithTrialBudget: budget must be positive")
+		}
+		s.cfg.TrialBudget = cycles
+		return nil
+	}
+}
+
 // WithObserver registers a callback invoked synchronously for every
 // session event, in emission order. Use Events for a channel instead.
 func WithObserver(fn func(Event)) Option {

@@ -102,6 +102,14 @@ type Session struct {
 
 	repairApplied bool
 	repairErr     error
+	// trial marks a speculative-repair fork: its maybeRepair is inert
+	// (the fork's candidate was installed at fork time; forks never
+	// recurse into trials) and it reports to no observers.
+	trial bool
+	// trialWinner and trials record the speculative-trial outcome for
+	// the Result (and the session snapshot).
+	trialWinner string
+	trials      []repair.TrialResult
 	// covered are candidate PCs already handed to the repair controller;
 	// the trigger only re-fires when fresh candidates appear, so a
 	// residual false-sharing tail at an already-rewritten site does not
@@ -479,7 +487,7 @@ func (s *Session) at() common {
 // candidates, hands them to LASERREPAIR. A successful hot-swap ends the
 // epoch.
 func (s *Session) maybeRepair() {
-	if !s.cfg.EnableRepair || s.repairErr != nil || s.epoch >= s.cfg.MaxEpochs {
+	if s.trial || !s.cfg.EnableRepair || s.repairErr != nil || s.epoch >= s.cfg.MaxEpochs {
 		return
 	}
 	st := s.m.Stats()
@@ -512,9 +520,17 @@ func (s *Session) maybeRepair() {
 		s.ingest()
 	}
 	genBefore := s.ctl.Generation()
-	if err := s.ctl.Apply(pcs); err != nil {
-		s.repairErr = err
-		s.emit(RepairDeclined{common: s.at(), Err: err})
+	var applyErr error
+	if s.cfg.SpeculativeRepair && !s.ctl.Applied() {
+		// First install under speculative repair: race the candidate
+		// slate from this cut and apply the measured winner.
+		applyErr = s.applyMeasured(pcs)
+	} else {
+		applyErr = s.ctl.Apply(pcs)
+	}
+	if applyErr != nil {
+		s.repairErr = applyErr
+		s.emit(RepairDeclined{common: s.at(), Err: applyErr, Winner: s.trialWinner})
 		return
 	}
 	if s.covered == nil {
@@ -530,7 +546,8 @@ func (s *Session) maybeRepair() {
 	}
 	s.repairApplied = true
 	s.refreshRemap()
-	s.emit(RepairApplied{common: s.at(), Conservative: s.ctl.Conservative()})
+	s.emit(RepairApplied{common: s.at(), Conservative: s.ctl.Conservative(),
+		Candidate: s.ctl.Candidate()})
 	s.endEpoch(seconds, true)
 }
 
@@ -577,6 +594,8 @@ func (s *Session) finish() {
 		Pipeline:      s.pipe,
 		RepairApplied: s.repairApplied,
 		RepairErr:     s.repairErr,
+		RepairWinner:  s.trialWinner,
+		RepairTrials:  s.trials,
 		Seconds:       seconds,
 		DriverStats:   s.drv.Stats(),
 		PEBSStats:     s.pmu.Stats(),
@@ -593,6 +612,8 @@ func (s *Session) partialResult() *Result {
 		Pipeline:      s.pipe,
 		RepairApplied: s.repairApplied,
 		RepairErr:     s.repairErr,
+		RepairWinner:  s.trialWinner,
+		RepairTrials:  s.trials,
 		Epochs:        s.epochs,
 	}
 }

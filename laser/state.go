@@ -56,7 +56,27 @@ type SessionState struct {
 	LastGen       int
 	RepairApplied bool
 	RepairErr     string
+	TrialWinner   string
+	Trials        []repair.TrialResult
 	Covered       []mem.Addr // sorted
+}
+
+// cloneEpochs deep-copies archived epoch reports. Snapshots must not
+// share *core.Report values with the live session — and trial forks
+// restored from one snapshot must not share them with each other.
+func cloneEpochs(eps []EpochReport) []EpochReport {
+	if eps == nil {
+		return nil
+	}
+	out := append([]EpochReport(nil), eps...)
+	for i := range out {
+		if r := out[i].Report; r != nil {
+			cp := *r
+			cp.Lines = append([]core.ReportLine(nil), r.Lines...)
+			out[i].Report = &cp
+		}
+	}
+	return out
 }
 
 // Fingerprint returns the fingerprint of the session's resolved
@@ -80,9 +100,11 @@ func (s *Session) CaptureState() *SessionState {
 		EpochStart:    s.epochStart,
 		EpochDrv:      s.epochDrv,
 		EpochPEBS:     s.epochPEBS,
-		Epochs:        append([]EpochReport(nil), s.epochs...),
+		Epochs:        cloneEpochs(s.epochs),
 		LastGen:       s.lastGen,
 		RepairApplied: s.repairApplied,
+		TrialWinner:   s.trialWinner,
+		Trials:        append([]repair.TrialResult(nil), s.trials...),
 	}
 	if s.repairErr != nil {
 		st.RepairErr = s.repairErr.Error()
@@ -133,19 +155,31 @@ func RestoreSession(img *workload.Image, st *SessionState, opts ...Option) (*Ses
 		return nil, fmt.Errorf("laser: snapshot captured with intra-run parallel=%v, restore configured parallel=%v",
 			st.Parallel, s.m.IntraRunParallel())
 	}
+	if err := s.restoreFrom(st); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreFrom overwrites a freshly built session with a snapshot's
+// component state. It is the shared core of RestoreSession and the
+// speculative-repair trial forks (which skip the public entry point's
+// fingerprint check: a fork reuses the parent's resolved configuration
+// verbatim).
+func (s *Session) restoreFrom(st *SessionState) error {
 	// Order matters: the controller reinstalls the rewritten program
 	// first (its SetProgram remaps the fresh machine's thread state, which
 	// the machine snapshot then overwrites), the machine restore brings
 	// back the true architectural state, and the pipeline's PC remap is
 	// derived from the restored controller afterwards.
 	if err := s.ctl.RestoreState(st.Repair); err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.m.RestoreState(st.Machine); err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.pipe.RestoreFullState(st.Pipe); err != nil {
-		return nil, err
+		return err
 	}
 	// The remap table the captured pipeline held is the one installed at
 	// controller generation LastGen. At a Step boundary that is the
@@ -158,7 +192,7 @@ func RestoreSession(img *workload.Image, st *SessionState, opts ...Option) (*Ses
 		s.pipe.SetPCRemap(nil)
 	}
 	if err := s.pmu.RestoreState(st.PEBS); err != nil {
-		return nil, err
+		return err
 	}
 	s.drv.RestoreState(st.Driver)
 
@@ -168,12 +202,14 @@ func RestoreSession(img *workload.Image, st *SessionState, opts ...Option) (*Ses
 	s.epochStart = st.EpochStart
 	s.epochDrv = st.EpochDrv
 	s.epochPEBS = st.EpochPEBS
-	s.epochs = append([]EpochReport(nil), st.Epochs...)
+	s.epochs = cloneEpochs(st.Epochs)
 	s.lastGen = st.LastGen
 	s.repairApplied = st.RepairApplied
 	if st.RepairErr != "" {
 		s.repairErr = errors.New(st.RepairErr)
 	}
+	s.trialWinner = st.TrialWinner
+	s.trials = append([]repair.TrialResult(nil), st.Trials...)
 	if len(st.Covered) > 0 {
 		s.covered = make(map[mem.Addr]bool, len(st.Covered))
 		for _, pc := range st.Covered {
@@ -191,6 +227,8 @@ func RestoreSession(img *workload.Image, st *SessionState, opts ...Option) (*Ses
 			Pipeline:      s.pipe,
 			RepairApplied: s.repairApplied,
 			RepairErr:     s.repairErr,
+			RepairWinner:  s.trialWinner,
+			RepairTrials:  s.trials,
 			Seconds:       seconds,
 			DriverStats:   s.drv.Stats(),
 			PEBSStats:     s.pmu.Stats(),
@@ -198,7 +236,7 @@ func RestoreSession(img *workload.Image, st *SessionState, opts ...Option) (*Ses
 			Epochs:        s.epochs,
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // Encode serializes the snapshot with gob. The encoding is

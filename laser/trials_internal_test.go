@@ -1,0 +1,145 @@
+package laser
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// trialFSImage builds a minimal two-thread image with one falsely shared
+// line: each thread stores into its own slot of the line and loads from
+// a private array, linear_regression-shaped. Small enough that trial
+// forks complete within a modest budget.
+func trialFSImage(iters int64) *workload.Image {
+	b := isa.NewBuilder().At("trial.c", 100)
+	b.Func("worker")
+	b.Li(1, 0)
+	b.Label("loop").Line(102)
+	b.Load(2, 10, 0, 8) // private load
+	b.Load(4, 0, 0, 8)  // contended load
+	b.Add(4, 4, 2)
+	b.Store(0, 0, 4, 8) // contended store (false sharing)
+	b.Line(104).AddI(1, 1, 1)
+	b.BranchI(isa.Lt, 1, iters, "loop")
+	b.Line(106).Halt()
+	prog := b.Build()
+
+	line := mem.HeapBase + 0x1000
+	specs := []machine.ThreadSpec{
+		{Entry: 0, Regs: map[isa.Reg]int64{0: int64(line), 10: int64(line) + 1024}},
+		{Entry: 0, Regs: map[isa.Reg]int64{0: int64(line) + 16, 10: int64(line) + 2048}},
+	}
+	return &workload.Image{Prog: prog, Specs: specs, Threads: 2}
+}
+
+// contendingStorePCs mimics the detector's candidate list: the PCs of
+// the program's store instructions.
+func contendingStorePCs(prog *isa.Program) []mem.Addr {
+	var pcs []mem.Addr
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == isa.OpStore {
+			pcs = append(pcs, prog.Instrs[i].PC)
+		}
+	}
+	return pcs
+}
+
+// TestTrialForksIsolateParent is the fork-isolation aliasing audit as a
+// test: a session that runs a full trial race mid-stream must remain
+// byte-identical — snapshot for snapshot, step for step — to a twin
+// session that never forked. Any mutable structure shared between the
+// parent and a trial fork (or between forks, which run concurrently and
+// so also put the race detector on duty) would diverge the snapshots.
+func TestTrialForksIsolateParent(t *testing.T) {
+	const iters = 30_000
+	attach := func() *Session {
+		s, err := Attach(trialFSImage(iters),
+			WithRepair(false), // drive repair by hand below
+			WithPollInterval(50_000),
+			WithTrialBudget(150_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	subject, twin := attach(), attach()
+	defer subject.Close()
+	defer twin.Close()
+
+	// Step both to the same mid-run cut.
+	for _, s := range []*Session{subject, twin} {
+		if done, err := s.RunFor(200_000); err != nil || done {
+			t.Fatalf("RunFor: done=%t err=%v", done, err)
+		}
+	}
+	before := encodeState(t, subject)
+	if tw := encodeState(t, twin); !bytes.Equal(before, tw) {
+		t.Fatal("subject and twin diverged before any trial ran")
+	}
+
+	// Race the full candidate slate on the subject only.
+	trials, err := subject.runTrials(contendingStorePCs(subject.img.Prog))
+	if err != nil {
+		t.Fatalf("runTrials: %v", err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("got %d trials, want 4", len(trials))
+	}
+	ran := 0
+	for _, tr := range trials {
+		if tr.Err == "" && tr.Cycles > 0 {
+			ran++
+		}
+	}
+	if ran < 2 {
+		t.Fatalf("want at least two measured trials (a rewrite and the no-op), got %d: %+v", ran, trials)
+	}
+
+	// The race must not have moved the parent by a single byte.
+	if after := encodeState(t, subject); !bytes.Equal(before, after) {
+		t.Fatal("trial race mutated the parent session state")
+	}
+
+	// And the rest of the run must unfold exactly as the twin's.
+	finish := func(s *Session) {
+		for {
+			done, err := s.Step()
+			if err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+			if done {
+				return
+			}
+		}
+	}
+	finish(subject)
+	finish(twin)
+	sres, err := subject.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := twin.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sres.Stats, tres.Stats) {
+		t.Errorf("final stats diverged after trials:\nsubject: %+v\ntwin:    %+v", sres.Stats, tres.Stats)
+	}
+	if sf := encodeState(t, subject); !bytes.Equal(sf, encodeState(t, twin)) {
+		t.Error("final session snapshots diverged after trials")
+	}
+}
+
+func encodeState(t *testing.T, s *Session) []byte {
+	t.Helper()
+	blob, err := s.CaptureState().Encode()
+	if err != nil {
+		t.Fatalf("CaptureState.Encode: %v", err)
+	}
+	return blob
+}
