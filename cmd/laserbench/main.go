@@ -4,7 +4,7 @@
 // Usage:
 //
 //	laserbench [-exp all|fig3|tab1|tab2|fig9|fig10|fig11|fig12|fig13|fig14]
-//	           [-ascale N] [-pscale N] [-runs N] [-intra N]
+//	           [-ascale N] [-pscale N] [-runs N] [-intra N] [-segjit]
 //	           [-speculative-repair=true|false]
 //	           [-cache DIR] [-shard I/N] [-shard-partition cost|hash]
 //	           [-cache-gc AGE] [-cache-gc-bytes N]
@@ -19,8 +19,12 @@
 // (1 = fully serial). When a phase has fewer runnable simulations than
 // host workers, the leftovers move inside each simulated machine via
 // the intra-run parallel engine; -intra (or LASER_BENCH_INTRA)
-// overrides the split. The rendered output is byte-identical at any
-// parallelism, on either axis — only wall time changes.
+// overrides the split. -segjit (or LASER_BENCH_SEGJIT) additionally
+// compiles provably-private instruction segments inside each simulated
+// machine (the segment JIT); an explicit flag wins over the
+// environment. The rendered output is byte-identical at any
+// parallelism and with the segment compiler on or off — only wall time
+// changes.
 //
 // -cache DIR attaches a persistent run cache: every simulation result
 // is content-addressed by (workload, scale, variant, tool, SAV, seed,
@@ -89,6 +93,7 @@ func main() {
 	runs := flag.Int("runs", 3, "runs per performance data point")
 	specRepair := flag.Bool("speculative-repair", true, "race repair candidates in bounded forked trials before installing (Figure 11 automatic rows)")
 	intra := flag.Int("intra", 0, "intra-run engine workers per simulation (0 = automatic split)")
+	segjit := flag.Bool("segjit", false, "compile provably-private instruction segments inside each simulation (default $LASER_BENCH_SEGJIT)")
 	faultPlan := flag.String("fault-plan", "", "deterministic fault-injection plan (default $LASER_FAULT_PLAN; see internal/faultinject)")
 	unitRetries := flag.Int("unit-retries", 0, "attempts per failing work unit before quarantine (0 = default 3)")
 	unitDeadlineFloor := flag.Duration("unit-deadline-floor", 0, "minimum per-unit deadline (0 = default 30s)")
@@ -124,6 +129,14 @@ func main() {
 	if *intra > 0 {
 		os.Setenv("LASER_BENCH_INTRA", fmt.Sprint(*intra))
 	}
+	// An explicit -segjit (either value) overrides LASER_BENCH_SEGJIT;
+	// when the flag is absent the environment decides, so CI can force
+	// the toggle without editing command lines.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "segjit" {
+			os.Setenv("LASER_BENCH_SEGJIT", fmt.Sprint(*segjit))
+		}
+	})
 	planSpec := *faultPlan
 	if planSpec == "" {
 		planSpec = os.Getenv("LASER_FAULT_PLAN")
@@ -250,6 +263,15 @@ func main() {
 		}
 		if err := bench.MeasureIntraRun([]string{"histogram", "swaptions", "histogram'"},
 			*ascale, workers); err != nil {
+			fail(err)
+		}
+		// The segment-compiler microbenchmark: interpreted vs compiled
+		// ns/instr on a register-heavy workload (swaptions, the compiler's
+		// home turf) and a contended one (histogram, mostly fallback).
+		// Serial workers — the serial scheduler is where the compiled
+		// swaptions speedup is guarded in CI.
+		if err := bench.MeasureSegJIT([]string{"swaptions", "histogram"},
+			*ascale, 1); err != nil {
 			fail(err)
 		}
 		if err := bench.WriteFile(*jsonPath); err != nil {

@@ -1,0 +1,163 @@
+package isa
+
+// Segment extraction for the machine's segment compiler. The sharing
+// analysis (sharing.go) classifies every (thread, PC); this file turns
+// that classification into the unit the compiler consumes: the maximal
+// straight-line run of compilable instructions starting at an entry PC —
+// a superblock. The run ends *after* a control transfer (branch, jump,
+// call, ret: compiled blocks may redirect control, but only as their
+// last operation) or *before* the first instruction the compiler must
+// leave to the interpreter: atomics, fences, SSB operations, alias
+// checks, halts — every globally-visible event — and, depending on the
+// policy, memory operations.
+//
+// Each included instruction is pre-decoded into a compact SegOp so the
+// compiled block never touches the full Instr (which carries source-map
+// strings and spans well over a cache line). The machine package binds
+// the cost model and emits the executable closure; this file knows only
+// the ISA and the sharing classes.
+
+// SegKind discriminates pre-decoded segment operations. It is finer
+// than Op where the decode pays off (register vs immediate operand
+// forms, store-immediate addressing) and coarser where it does not.
+type SegKind uint8
+
+// Segment operation kinds. The Imm/Target/A/B/D/Size fields each kind
+// uses are documented per kind; unused fields are zero.
+const (
+	SegNop      SegKind = iota // no effect
+	SegMovImm                  // regs[D] = Imm
+	SegMov                     // regs[D] = regs[A]
+	SegALU                     // regs[D] = regs[A] <ALU> regs[B]
+	SegALUImm                  // regs[D] = regs[A] <ALU> Imm
+	SegLoad                    // regs[D] = memory[regs[A]+Imm], Size bytes
+	SegStore                   // memory[regs[A]+Imm] = regs[B], Size bytes
+	SegStoreImm                // memory[regs[A]] = Imm, Size bytes
+	SegBranch                  // if Cond(regs[A], regs[B]) goto Target
+	SegBranchImm               // if Cond(regs[A], Imm) goto Target
+	SegJump                    // goto Target
+	SegCall                    // push PC+1, goto Target
+	SegRet                     // pop return PC
+	SegPause                   // spin-wait hint (cost only)
+	SegIO                      // timed wait: Imm cycles (cost only)
+)
+
+// SegOp is one pre-decoded instruction of a segment. PC is the index of
+// the original instruction, so a block that stops mid-way (a failed
+// runtime private check) can hand the exact resume point back to the
+// interpreter.
+type SegOp struct {
+	Imm    int64
+	Target int32
+	PC     int32
+	Kind   SegKind
+	ALU    ALUKind
+	Cond   Cond
+	A, B, D uint8
+	Size   uint8
+}
+
+// Segment is one extracted superblock: the decoded ops starting at
+// Entry. Control transfers appear only as the final op; a segment whose
+// final op is not a control transfer falls through to PC+1 of its last
+// instruction.
+type Segment struct {
+	Entry int
+	Ops   []SegOp
+}
+
+// maxSegOps caps a segment's length. Real blocks end at a control
+// transfer long before this; the cap bounds compile latency and keeps
+// the worst-case cycle sum of a block trivially far from overflow.
+const maxSegOps = 1024
+
+// maxSegIOCost excludes pathological OpIO immediates from segments: an
+// IO cost beyond this (or a negative one, which the interpreter treats
+// as a huge unsigned cost) would dominate the block's worst-case bound
+// and make the block never eligible anyway.
+const maxSegIOCost = 1 << 32
+
+// ExtractSegment decodes the maximal superblock of p starting at entry.
+//
+// When includeMem is false the segment carries only thread-local
+// operations — the LocalOps projection of the sharing analysis, exactly
+// the set the serial scheduler's run-ahead rule may retire early — and
+// every memory operation ends it. When includeMem is true, loads and
+// stores are included unless row (the extracting thread's sharing row,
+// which must cover p) classifies their PC as ShareShared; included
+// memory operations still need the executor's runtime private check,
+// mirroring the parallel engine's segment loop.
+//
+// The returned segment may be empty: entry itself is not compilable.
+func ExtractSegment(p *Program, row []SharingClass, entry int, includeMem bool) Segment {
+	seg := Segment{Entry: entry}
+	pc := entry
+	for len(seg.Ops) < maxSegOps && pc < len(p.Instrs) {
+		in := &p.Instrs[pc]
+		op := SegOp{PC: int32(pc)}
+		ctl := false
+		switch in.Op {
+		case OpNop:
+			op.Kind = SegNop
+		case OpMovImm:
+			op.Kind, op.D, op.Imm = SegMovImm, uint8(in.Rd), in.Imm
+		case OpMov:
+			op.Kind, op.D, op.A = SegMov, uint8(in.Rd), uint8(in.Rs1)
+		case OpALU:
+			op.ALU, op.D, op.A = in.ALU, uint8(in.Rd), uint8(in.Rs1)
+			if in.UseImm {
+				op.Kind, op.Imm = SegALUImm, in.Imm
+			} else {
+				op.Kind, op.B = SegALU, uint8(in.Rs2)
+			}
+		case OpLoad:
+			if !includeMem || row[pc] == ShareShared {
+				return seg
+			}
+			op.Kind, op.D, op.A, op.Imm, op.Size = SegLoad, uint8(in.Rd), uint8(in.Rs1), in.Imm, in.Size
+		case OpStore:
+			if !includeMem || row[pc] == ShareShared {
+				return seg
+			}
+			if in.UseImm {
+				op.Kind, op.A, op.Imm, op.Size = SegStoreImm, uint8(in.Rs1), in.Imm, in.Size
+			} else {
+				op.Kind, op.A, op.B, op.Imm, op.Size = SegStore, uint8(in.Rs1), uint8(in.Rs2), in.Imm, in.Size
+			}
+		case OpBranch:
+			op.Cond, op.A, op.Target = in.Cond, uint8(in.Rs1), int32(in.Target)
+			if in.UseImm {
+				op.Kind, op.Imm = SegBranchImm, in.Imm
+			} else {
+				op.Kind, op.B = SegBranch, uint8(in.Rs2)
+			}
+			ctl = true
+		case OpJump:
+			op.Kind, op.Target = SegJump, int32(in.Target)
+			ctl = true
+		case OpCall:
+			op.Kind, op.Target = SegCall, int32(in.Target)
+			ctl = true
+		case OpRet:
+			op.Kind = SegRet
+			ctl = true
+		case OpPause:
+			op.Kind = SegPause
+		case OpIO:
+			if in.Imm < 0 || in.Imm > maxSegIOCost {
+				return seg
+			}
+			op.Kind, op.Imm = SegIO, in.Imm
+		default:
+			// Atomics, fences, SSB operations, alias checks, halt: all
+			// globally visible; the block ends before them.
+			return seg
+		}
+		seg.Ops = append(seg.Ops, op)
+		if ctl {
+			return seg
+		}
+		pc++
+	}
+	return seg
+}

@@ -1,0 +1,134 @@
+package isa
+
+import "testing"
+
+// segProg builds: ALU run, load, ALU, store, branch — then a fence and
+// a CAS past the loop, exercising every extraction boundary.
+func segProg() *Program {
+	b := NewBuilder().At("seg_test.c", 1)
+	b.Func("f")
+	b.Li(1, 7)           // 0
+	b.AluI(Add, 2, 1, 3) // 1
+	b.Alu(Mul, 3, 2, 1)  // 2
+	b.Load(4, 3, 16, 8)  // 3
+	b.Mov(5, 4)          // 4
+	b.Store(3, 8, 5, 4)  // 5
+	b.StoreI(3, 99, 8)   // 6
+	b.BranchI(Lt, 1, 10, "top") // 7
+	b.Label("top")
+	b.Fence()                 // 8
+	b.CAS(6, 3, 0, 1, 2, 8)   // 9
+	b.Pause()                  // 10
+	b.IO(-5)                   // 11
+	b.Halt()                   // 12
+	return b.Build()
+}
+
+func sharingRow(n int, shared ...int) []SharingClass {
+	row := make([]SharingClass, n)
+	for _, pc := range shared {
+		row[pc] = ShareShared
+	}
+	return row
+}
+
+func TestExtractSegmentPureStopsAtMemory(t *testing.T) {
+	p := segProg()
+	seg := ExtractSegment(p, nil, 0, false)
+	if len(seg.Ops) != 3 {
+		t.Fatalf("pure segment from 0: got %d ops, want 3 (Li, AluI, Alu)", len(seg.Ops))
+	}
+	wantKinds := []SegKind{SegMovImm, SegALUImm, SegALU}
+	for i, k := range wantKinds {
+		if seg.Ops[i].Kind != k {
+			t.Fatalf("op %d kind = %d, want %d", i, seg.Ops[i].Kind, k)
+		}
+		if seg.Ops[i].PC != int32(i) {
+			t.Fatalf("op %d PC = %d, want %d", i, seg.Ops[i].PC, i)
+		}
+	}
+	if op := seg.Ops[1]; op.D != 2 || op.A != 1 || op.Imm != 3 || op.ALU != Add {
+		t.Fatalf("decoded ALUImm operands wrong: %+v", op)
+	}
+}
+
+func TestExtractSegmentMemEndsAfterControl(t *testing.T) {
+	p := segProg()
+	seg := ExtractSegment(p, sharingRow(len(p.Instrs)), 0, true)
+	if n := len(seg.Ops); n != 8 {
+		t.Fatalf("mem segment from 0: got %d ops, want 8 (through the branch)", n)
+	}
+	last := seg.Ops[len(seg.Ops)-1]
+	if last.Kind != SegBranchImm || last.PC != 7 {
+		t.Fatalf("segment must end after the control transfer, ends with %+v", last)
+	}
+	if op := seg.Ops[3]; op.Kind != SegLoad || op.A != 3 || op.Imm != 16 || op.Size != 8 || op.D != 4 {
+		t.Fatalf("decoded load wrong: %+v", op)
+	}
+	if op := seg.Ops[5]; op.Kind != SegStore || op.A != 3 || op.B != 5 || op.Imm != 8 || op.Size != 4 {
+		t.Fatalf("decoded store wrong: %+v", op)
+	}
+	if op := seg.Ops[6]; op.Kind != SegStoreImm || op.A != 3 || op.Imm != 99 || op.Size != 8 {
+		t.Fatalf("decoded store-imm wrong: %+v", op)
+	}
+}
+
+func TestExtractSegmentSharedLineStopsBlock(t *testing.T) {
+	p := segProg()
+	// Store at pc 5 classified shared: block must stop before it.
+	seg := ExtractSegment(p, sharingRow(len(p.Instrs), 5), 0, true)
+	if n := len(seg.Ops); n != 5 {
+		t.Fatalf("got %d ops, want 5 (stops before the shared store)", n)
+	}
+	// Load at pc 3 shared: block is the leading ALU run only.
+	seg = ExtractSegment(p, sharingRow(len(p.Instrs), 3), 0, true)
+	if n := len(seg.Ops); n != 3 {
+		t.Fatalf("got %d ops, want 3 (stops before the shared load)", n)
+	}
+}
+
+func TestExtractSegmentGlobalEventsEndBlock(t *testing.T) {
+	p := segProg()
+	row := sharingRow(len(p.Instrs))
+	// Fence at entry: empty segment.
+	if seg := ExtractSegment(p, row, 8, true); len(seg.Ops) != 0 {
+		t.Fatalf("fence entry: got %d ops, want 0", len(seg.Ops))
+	}
+	// CAS at entry: empty segment.
+	if seg := ExtractSegment(p, row, 9, true); len(seg.Ops) != 0 {
+		t.Fatalf("CAS entry: got %d ops, want 0", len(seg.Ops))
+	}
+	// Pause compiles, but the negative-immediate IO and the halt end the
+	// block: [Pause] only.
+	seg := ExtractSegment(p, row, 10, true)
+	if len(seg.Ops) != 1 || seg.Ops[0].Kind != SegPause {
+		t.Fatalf("pause entry: got %+v, want single SegPause", seg.Ops)
+	}
+}
+
+func TestExtractSegmentCapsLength(t *testing.T) {
+	b := NewBuilder().At("seg_test.c", 1)
+	b.Func("nops")
+	for i := 0; i < maxSegOps+100; i++ {
+		b.Nop()
+	}
+	b.Halt()
+	p := b.Build()
+	seg := ExtractSegment(p, nil, 0, false)
+	if len(seg.Ops) != maxSegOps {
+		t.Fatalf("got %d ops, want cap %d", len(seg.Ops), maxSegOps)
+	}
+}
+
+func TestExtractSegmentControlAtEntry(t *testing.T) {
+	b := NewBuilder().At("seg_test.c", 1)
+	b.Func("g")
+	b.Label("self")
+	b.Jump("self")
+	b.Halt()
+	p := b.Build()
+	seg := ExtractSegment(p, nil, 0, false)
+	if len(seg.Ops) != 1 || seg.Ops[0].Kind != SegJump || seg.Ops[0].Target != 0 {
+		t.Fatalf("jump entry: got %+v", seg.Ops)
+	}
+}

@@ -1,0 +1,457 @@
+package machine
+
+// The segment compiler: the second execution backend behind
+// Config.SegmentJIT. Instead of interpreting provably-local instruction
+// runs one Instr at a time, the machine translates each superblock
+// (isa.ExtractSegment) once into a straight-line Go closure over
+// pre-decoded 40-byte micro-ops — register ops fully specialized, the
+// 1/2/4/8-byte load/store fast paths inlined via the engine's memView —
+// and thereafter dispatches the whole block with one call.
+//
+// Determinism is preserved by construction, not by re-checking:
+//
+//   - A block executes only when clk + worst < bound, where worst is the
+//     block's worst-case cycle sum. Every op therefore *starts* strictly
+//     below the bound, which is exactly the condition under which the
+//     interpreter would have retired it, and the per-op costs are the
+//     interpreter's own — so clocks, statistics and memory images are
+//     byte-identical.
+//   - Serial-scheduler blocks contain only thread-local operations (the
+//     run-ahead set, isa.LocalOps): their cost is exact and they cannot
+//     fault, so they run to the batch's hard bound like run-ahead does.
+//   - Engine blocks additionally carry private memory ops, guarded by
+//     the same runtime privSet check as the interpreting segment loop;
+//     a failed check bails *before* any side effect, handing the exact
+//     (pc, clk) to the interpreter. Private lines cannot HITM (single-
+//     owner MESI), so a memory op's cost never exceeds its assumed
+//     worst (CostMissMemory).
+//   - Every globally-visible event — coherence traffic through the
+//     directory, HITM/probe callbacks, SSB transactions, atomics,
+//     fences, halts — still retires serially in exact (clock, core-id)
+//     order: such opcodes are never compiled.
+//
+// Blocks are cached per (thread, entry-PC) for the analysis generation
+// the cache was built against (progGen == 0; the entry PC identifies the
+// containing function via the program's PC map). A program hot-swap
+// (SetProgram) drops the whole compiler: remapped PCs would otherwise
+// alias stale closures. Per-core adaptive promotion keeps the lookup off
+// the hot path on cores whose instruction mix never compiles.
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// minSegOps is the shortest superblock worth compiling: below this the
+// per-block dispatch (cache lookup, bound check, closure call) costs
+// about as much as interpreting the ops. The serial flavor needs longer
+// blocks to win: its interpreter baseline is the cheap register-op fast
+// path, whereas the engine's per-op baseline carries privSet lookups and
+// memory-view dispatch, so even short blocks pay off there.
+const (
+	minSegOps       = 2
+	minSegOpsSerial = 6
+)
+
+// Per-core adaptive promotion: a core whose recent compiled-instruction
+// fraction (EMA) falls below jitDemoteFraction stops consulting the
+// block cache for jitHoldTurns batches/segments, then re-probes.
+// Promotion is instant (the EMA jumps to any higher observed fraction);
+// demotion is damped. Pure dispatch policy: results are identical on
+// every path, only the lookup overhead moves.
+const (
+	jitDemoteFraction = 0.05
+	jitHoldTurns      = 64
+	jitNoteEvery      = 256
+)
+
+// jitKind is the specialized micro-opcode. ALU kinds are laid out
+// contiguously in isa.ALUKind order so translation is an addition.
+type jitKind uint8
+
+const (
+	jCost   jitKind = iota // cost-only: nop, pause, timed IO
+	jMovImm                // regs[d] = imm
+	jMov                   // regs[d] = regs[a]
+	// Register-register ALU, in isa.ALUKind order (jAdd + kind).
+	jAdd
+	jSub
+	jMul
+	jDiv
+	jAnd
+	jOr
+	jXor
+	jShl
+	jShr
+	// Register-immediate ALU, in isa.ALUKind order (jAddI + kind).
+	jAddI
+	jSubI
+	jMulI
+	jDivI
+	jAndI
+	jOrI
+	jXorI
+	jShlI
+	jShrI
+	jLoad     // regs[d] = memory[regs[a]+imm], size bytes (engine only)
+	jStore    // memory[regs[a]+imm] = regs[b] (engine only)
+	jStoreImm // memory[regs[a]] = imm (engine only)
+	jBranch   // if cond(regs[a], regs[b]) goto target
+	jBranchI  // if cond(regs[a], imm) goto target
+	jJump
+	jCall
+	jRet
+)
+
+// jitOp is one compiled micro-op: the pre-decoded operands plus the
+// op's static cycle cost (base cost, instruction dilation, and load
+// dilation for loads — everything except a memory op's access outcome).
+type jitOp struct {
+	imm    int64
+	cost   uint64
+	target int32
+	pc     int32
+	kind   jitKind
+	cond   isa.Cond
+	a, b, d uint8
+	size   uint8
+}
+
+// jitBlock is one compiled superblock.
+type jitBlock struct {
+	ops []jitOp
+	// worst bounds the block's total cycle cost: the sum of static costs
+	// plus CostMissMemory per memory op. A block runs only when
+	// clk + worst < bound (strict: a zero-cost op must still start below
+	// the bound).
+	worst uint64
+	run   func(*jitVM)
+}
+
+// jitNotCompilable marks an entry PC whose superblock is too short (or
+// empty) to compile, so the lookup fails in one compare forever after.
+var jitNotCompilable = &jitBlock{}
+
+// jitVM is the register file of one block invocation: inputs (thread,
+// clock, and — engine flavor — the thread's private set and the core's
+// memory view) and outputs (clock, next pc, retired ops, private access
+// tallies, and whether the block completed or bailed to the
+// interpreter).
+type jitVM struct {
+	t    *thread
+	ps   *privSet
+	view *memView
+
+	clk   uint64
+	steps uint64
+	mem   uint64
+	miss  uint64
+	hit   uint64
+	pc    int
+	ok    bool
+}
+
+// jitThread is one thread's block cache, indexed by entry PC. Only the
+// thread's current executor (scheduler or the worker running its
+// segment, never both) touches it, like the thread's privSet.
+type jitThread struct {
+	blocks []*jitBlock
+	row    []isa.SharingClass // sharing row; nil under the serial scheduler
+	vm     jitVM              // reused across invocations; no per-batch allocation
+}
+
+// jitCore is one core's adaptive-promotion state (scheduler-owned).
+// comp/steps accumulate across batches so the EMA fold (float math and
+// the demotion decision) runs once per jitNoteEvery retired steps, not
+// once per batch — serial batches can be a handful of instructions.
+type jitCore struct {
+	ema   float64
+	hold  int
+	comp  uint64
+	steps uint64
+}
+
+// segJIT is the per-machine segment compiler.
+type segJIT struct {
+	m          *Machine
+	includeMem bool // engine flavor: compile runtime-checked private memory ops
+	threads    []*jitThread
+	cores      []jitCore
+}
+
+func newSegJIT(m *Machine) *segJIT {
+	return &segJIT{
+		m:          m,
+		includeMem: m.eng != nil,
+		threads:    make([]*jitThread, len(m.threads)),
+		cores:      make([]jitCore, m.cfg.Cores),
+	}
+}
+
+// gate returns the thread's block cache if core c should attempt
+// compiled dispatch this turn, nil while the core is demoted or once a
+// hot-swap invalidated the caches. Scheduler goroutine only.
+func (j *segJIT) gate(tid, c int) *jitThread {
+	if j.m.progGen != 0 {
+		return nil
+	}
+	g := &j.cores[c]
+	if g.hold > 0 {
+		g.hold--
+		return nil
+	}
+	jt := j.threads[tid]
+	if jt == nil {
+		jt = &jitThread{blocks: make([]*jitBlock, len(j.m.prog.Instrs))}
+		if j.includeMem {
+			jt.row = j.m.eng.sharing.Row(tid)
+		}
+		j.threads[tid] = jt
+	}
+	return jt
+}
+
+// note feeds one batch/segment's compiled-vs-total instruction counts
+// into core c's promotion state. Scheduler goroutine only.
+func (j *segJIT) note(c int, comp, total uint64) {
+	g := &j.cores[c]
+	g.comp += comp
+	g.steps += total
+	if g.steps < jitNoteEvery {
+		return
+	}
+	frac := float64(g.comp) / float64(g.steps)
+	g.comp, g.steps = 0, 0
+	g.ema = (3*g.ema + frac) / 4
+	if frac > g.ema {
+		g.ema = frac
+	}
+	if g.ema < jitDemoteFraction {
+		g.hold = jitHoldTurns
+	}
+}
+
+// lookup returns the compiled block entered at pc, compiling it on
+// first use, or nil when pc does not head a compilable superblock.
+// Caller must hold the thread-executor role for jt's thread.
+func (j *segJIT) lookup(jt *jitThread, pc int) *jitBlock {
+	b := jt.blocks[pc]
+	if b == nil {
+		b = j.compile(jt, pc)
+		jt.blocks[pc] = b
+	}
+	if b == jitNotCompilable {
+		return nil
+	}
+	return b
+}
+
+// compile extracts the superblock at entry and emits its closure.
+func (j *segJIT) compile(jt *jitThread, entry int) *jitBlock {
+	seg := isa.ExtractSegment(j.m.prog, jt.row, entry, j.includeMem)
+	min := minSegOpsSerial
+	if j.includeMem {
+		min = minSegOps
+	}
+	if len(seg.Ops) < min {
+		return jitNotCompilable
+	}
+	extraInstr := j.m.cfg.ExtraInstrCycles
+	extraLoad := j.m.cfg.ExtraLoadCycles
+	blk := &jitBlock{ops: make([]jitOp, len(seg.Ops))}
+	for i, s := range seg.Ops {
+		u := &blk.ops[i]
+		*u = jitOp{
+			imm:    s.Imm,
+			target: s.Target,
+			pc:     s.PC,
+			cond:   s.Cond,
+			a:      s.A,
+			b:      s.B,
+			d:      s.D,
+			size:   s.Size,
+		}
+		cost, dyn := uint64(0), uint64(0)
+		switch s.Kind {
+		case isa.SegNop:
+			u.kind, cost = jCost, CostNop
+		case isa.SegPause:
+			u.kind, cost = jCost, CostPause
+		case isa.SegIO:
+			u.kind, cost = jCost, uint64(s.Imm)
+		case isa.SegMovImm:
+			u.kind, cost = jMovImm, CostALU
+		case isa.SegMov:
+			u.kind, cost = jMov, CostALU
+		case isa.SegALU:
+			u.kind, cost = jAdd+jitKind(s.ALU), CostALU
+		case isa.SegALUImm:
+			u.kind, cost = jAddI+jitKind(s.ALU), CostALU
+		case isa.SegLoad:
+			u.kind, cost, dyn = jLoad, extraLoad, CostMissMemory
+		case isa.SegStore:
+			u.kind, dyn = jStore, CostMissMemory
+		case isa.SegStoreImm:
+			u.kind, dyn = jStoreImm, CostMissMemory
+		case isa.SegBranch:
+			u.kind, cost = jBranch, CostBranch
+		case isa.SegBranchImm:
+			u.kind, cost = jBranchI, CostBranch
+		case isa.SegJump:
+			u.kind, cost = jJump, CostBranch
+		case isa.SegCall:
+			u.kind, cost = jCall, CostCall
+		case isa.SegRet:
+			u.kind, cost = jRet, CostRet
+		default:
+			panic(fmt.Sprintf("machine: unknown segment op kind %d", s.Kind))
+		}
+		u.cost = cost + extraInstr
+		blk.worst += u.cost + dyn
+	}
+	blk.run = emitBlock(blk.ops)
+	return blk
+}
+
+// emitBlock closes the block's micro-ops over one straight-line
+// executor. The per-op work is a dense switch on the specialized kind —
+// threaded code, with no instruction fetch, no bound or generation
+// checks, and costs resolved at compile time; only engine-flavor memory
+// ops retain their runtime private check and first-touch outcome.
+func emitBlock(ops []jitOp) func(*jitVM) {
+	return func(vm *jitVM) {
+		t := vm.t
+		clk := vm.clk
+		var memAcc, miss, hit uint64
+		nextPC := -1
+		for i := range ops {
+			u := &ops[i]
+			switch u.kind {
+			case jCost:
+			case jMovImm:
+				t.regs[u.d] = u.imm
+			case jMov:
+				t.regs[u.d] = t.regs[u.a]
+			case jAdd:
+				t.regs[u.d] = t.regs[u.a] + t.regs[u.b]
+			case jSub:
+				t.regs[u.d] = t.regs[u.a] - t.regs[u.b]
+			case jMul:
+				t.regs[u.d] = t.regs[u.a] * t.regs[u.b]
+			case jDiv:
+				if b := t.regs[u.b]; b == 0 {
+					t.regs[u.d] = 0
+				} else {
+					t.regs[u.d] = t.regs[u.a] / b
+				}
+			case jAnd:
+				t.regs[u.d] = t.regs[u.a] & t.regs[u.b]
+			case jOr:
+				t.regs[u.d] = t.regs[u.a] | t.regs[u.b]
+			case jXor:
+				t.regs[u.d] = t.regs[u.a] ^ t.regs[u.b]
+			case jShl:
+				t.regs[u.d] = t.regs[u.a] << (uint64(t.regs[u.b]) & 63)
+			case jShr:
+				t.regs[u.d] = int64(uint64(t.regs[u.a]) >> (uint64(t.regs[u.b]) & 63))
+			case jAddI:
+				t.regs[u.d] = t.regs[u.a] + u.imm
+			case jSubI:
+				t.regs[u.d] = t.regs[u.a] - u.imm
+			case jMulI:
+				t.regs[u.d] = t.regs[u.a] * u.imm
+			case jDivI:
+				if u.imm == 0 {
+					t.regs[u.d] = 0
+				} else {
+					t.regs[u.d] = t.regs[u.a] / u.imm
+				}
+			case jAndI:
+				t.regs[u.d] = t.regs[u.a] & u.imm
+			case jOrI:
+				t.regs[u.d] = t.regs[u.a] | u.imm
+			case jXorI:
+				t.regs[u.d] = t.regs[u.a] ^ u.imm
+			case jShlI:
+				t.regs[u.d] = t.regs[u.a] << (uint64(u.imm) & 63)
+			case jShrI:
+				t.regs[u.d] = int64(uint64(t.regs[u.a]) >> (uint64(u.imm) & 63))
+			case jLoad:
+				addr := mem.Addr(t.regs[u.a] + u.imm)
+				r := vm.ps.find(addr)
+				if r == nil || addr+mem.Addr(u.size) > r.end {
+					// Bail before any side effect: the op at u.pc has not
+					// started, so the interpreter resumes exactly here.
+					vm.clk, vm.pc, vm.ok = clk, int(u.pc), false
+					vm.steps, vm.mem, vm.miss, vm.hit = uint64(i), memAcc, miss, hit
+					return
+				}
+				if r.touch(mem.LineOf(addr)) {
+					miss++
+					clk += CostMissMemory
+				} else {
+					hit++
+					clk += CostMemHitLocal
+				}
+				memAcc++
+				t.regs[u.d] = int64(vm.view.load(addr, u.size))
+			case jStore, jStoreImm:
+				var addr mem.Addr
+				var v uint64
+				if u.kind == jStore {
+					addr = mem.Addr(t.regs[u.a] + u.imm)
+					v = uint64(t.regs[u.b])
+				} else {
+					addr = mem.Addr(t.regs[u.a])
+					v = uint64(u.imm)
+				}
+				r := vm.ps.find(addr)
+				if r == nil || addr+mem.Addr(u.size) > r.end {
+					vm.clk, vm.pc, vm.ok = clk, int(u.pc), false
+					vm.steps, vm.mem, vm.miss, vm.hit = uint64(i), memAcc, miss, hit
+					return
+				}
+				if r.touch(mem.LineOf(addr)) {
+					miss++
+					clk += CostMissMemory
+				} else {
+					hit++
+					clk += CostMemHitLocal
+				}
+				memAcc++
+				vm.view.store(addr, u.size, v)
+			case jBranch:
+				if condHolds(u.cond, t.regs[u.a], t.regs[u.b]) {
+					nextPC = int(u.target)
+				} else {
+					nextPC = int(u.pc) + 1
+				}
+			case jBranchI:
+				if condHolds(u.cond, t.regs[u.a], u.imm) {
+					nextPC = int(u.target)
+				} else {
+					nextPC = int(u.pc) + 1
+				}
+			case jJump:
+				nextPC = int(u.target)
+			case jCall:
+				t.callStack = append(t.callStack, int(u.pc)+1)
+				nextPC = int(u.target)
+			case jRet:
+				if len(t.callStack) == 0 {
+					panic(fmt.Sprintf("machine: ret with empty call stack at %d", u.pc))
+				}
+				nextPC = t.callStack[len(t.callStack)-1]
+				t.callStack = t.callStack[:len(t.callStack)-1]
+			}
+			clk += u.cost
+		}
+		if nextPC < 0 {
+			nextPC = int(ops[len(ops)-1].pc) + 1
+		}
+		vm.clk, vm.pc, vm.ok = clk, nextPC, true
+		vm.steps, vm.mem, vm.miss, vm.hit = uint64(len(ops)), memAcc, miss, hit
+	}
+}

@@ -1,0 +1,291 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// jitProg builds a finite 4-thread workload mixing the shapes the
+// segment compiler must handle: private-buffer loads/stores, ALU runs,
+// calls/returns, a falsely shared line (HITM traffic the compiler must
+// leave to the interpreter), and per-thread filler. filler perturbs one
+// immediate so two builds can differ at the same PCs (the hot-swap
+// stale-closure probe).
+func jitProg(iters int64, filler int64) (*isa.Program, []ThreadSpec) {
+	b := isa.NewBuilder().At("jit_test.c", 1)
+	entries := make([]int, 4)
+	for tid := 0; tid < 4; tid++ {
+		b.Func(fmt.Sprintf("jitworker%d", tid))
+		entries[tid] = b.Pos()
+		b.Li(1, 0)
+		loop := fmt.Sprintf("jitloop%d", tid)
+		b.Label(loop)
+		b.AluI(isa.And, 4, 1, 127)
+		b.AluI(isa.Shl, 4, 4, 3)
+		b.Add(4, 4, 2)
+		b.Load(5, 4, 0, 8)
+		b.Add(5, 5, 1)
+		b.AluI(isa.Xor, 6, 5, filler)
+		b.AluI(isa.Mul, 6, 6, 3)
+		b.AluI(isa.Shr, 7, 6, 4)
+		b.AluI(isa.Add, 7, 7, 9)
+		b.AluI(isa.Sub, 6, 6, 1)
+		b.Store(4, 0, 5, 8)
+		b.Store(0, 0, 1, 8) // falsely shared slot
+		b.AddI(1, 1, 1)
+		b.BranchI(isa.Lt, 1, iters, loop)
+		b.Halt()
+	}
+	prog := b.Build()
+	specs := make([]ThreadSpec, 4)
+	for i := range specs {
+		specs[i] = ThreadSpec{
+			Entry: entries[i],
+			Regs: map[isa.Reg]int64{
+				0: int64(mem.HeapBase + mem.Addr(i*8)),
+				2: int64(mem.HeapBase + 0x1000 + mem.Addr(i)<<12),
+			},
+		}
+	}
+	return prog, specs
+}
+
+func jitPrivateRanges() [][]mem.Range {
+	out := make([][]mem.Range, 4)
+	for i := range out {
+		start := mem.HeapBase + 0x1000 + mem.Addr(i)<<12
+		out[i] = []mem.Range{{Start: start, End: start + 128*8}}
+	}
+	return out
+}
+
+// runJitProg runs jitProg to completion under one configuration and
+// returns the machine for inspection.
+func runJitProg(t *testing.T, cfg Config, filler int64) *Machine {
+	t.Helper()
+	prog, specs := jitProg(20_000, filler)
+	m := New(prog, cfg, specs)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// stripCompiled zeroes the coverage counters, which are the one
+// intentional difference between interpreted and compiled runs.
+func stripCompiled(st Stats) Stats {
+	st.CompiledInstrs = 0
+	st.CoreCompiledInstrs = nil
+	return st
+}
+
+func demandSameRun(t *testing.T, a, b *Machine) {
+	t.Helper()
+	sa, sb := stripCompiled(*a.Stats()), stripCompiled(*b.Stats())
+	sa.CoreCycles = append([]uint64(nil), sa.CoreCycles...)
+	sb.CoreCycles = append([]uint64(nil), sb.CoreCycles...)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("stats diverged\na: %+v\nb: %+v", sa, sb)
+	}
+	for tid := 0; tid < 4; tid++ {
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if a.Reg(tid, r) != b.Reg(tid, r) {
+				t.Fatalf("thread %d reg %d diverged: %d vs %d", tid, r, a.Reg(tid, r), b.Reg(tid, r))
+			}
+		}
+	}
+	for i := 0; i < 4*128; i++ {
+		addr := mem.HeapBase + 0x1000 + mem.Addr(i)*8
+		if va, vb := a.ReadData(addr, 8), b.ReadData(addr, 8); va != vb {
+			t.Fatalf("memory diverged at %#x: %d vs %d", addr, va, vb)
+		}
+	}
+}
+
+// TestSegJITSerialEquivalence: the serial scheduler with the segment
+// compiler must be byte-identical to the interpreter, and must actually
+// compile something.
+func TestSegJITSerialEquivalence(t *testing.T) {
+	base := Config{Cores: 4}
+	jit := Config{Cores: 4, SegmentJIT: true}
+	a := runJitProg(t, base, 7)
+	b := runJitProg(t, jit, 7)
+	if b.Stats().CompiledInstrs == 0 {
+		t.Fatal("segment compiler never engaged")
+	}
+	if b.Stats().CompiledInstrs > b.Stats().Instructions {
+		t.Fatalf("compiled %d of %d instructions", b.Stats().CompiledInstrs, b.Stats().Instructions)
+	}
+	demandSameRun(t, a, b)
+}
+
+// TestSegJITEngineEquivalence: the intra-run parallel engine with
+// compiled segments (including runtime-checked private memory ops) must
+// match the serial interpreter at every worker count.
+func TestSegJITEngineEquivalence(t *testing.T) {
+	base := Config{Cores: 4}
+	a := runJitProg(t, base, 7)
+	for _, par := range []int{2, 4} {
+		cfg := Config{
+			Cores: 4, Parallelism: par, DispatchThreshold: 64,
+			PrivateData: jitPrivateRanges(), ValidateSharing: true,
+			SegmentJIT: true,
+		}
+		b := runJitProg(t, cfg, 7)
+		if !b.IntraRunParallel() {
+			t.Fatal("engine not engaged")
+		}
+		if b.Stats().CompiledInstrs == 0 {
+			t.Fatal("segment compiler never engaged under the engine")
+		}
+		demandSameRun(t, a, b)
+	}
+}
+
+// TestSegJITHotSwapNeverRunsStaleClosure is the invalidation property
+// test: whatever RunFor boundary a hot-swap lands on, the compiled-mode
+// machine must behave exactly like an interpreting twin given the same
+// swap. The swapped-in program differs at the same PCs (a changed
+// immediate), so a single stale closure executing after the swap
+// diverges the register file or the statistics.
+func TestSegJITHotSwapNeverRunsStaleClosure(t *testing.T) {
+	identity := func(i int) int { return i }
+	for _, swapAt := range []uint64{1, 500, 5_000, 50_000, 200_000, 800_000} {
+		swapAt := swapAt
+		t.Run(fmt.Sprintf("swapAt=%d", swapAt), func(t *testing.T) {
+			run := func(segjit bool) *Machine {
+				prog, specs := jitProg(20_000, 7)
+				after, _ := jitProg(20_000, 11)
+				m := New(prog, Config{Cores: 4, SegmentJIT: segjit}, specs)
+				if _, err := m.RunFor(swapAt); err != nil {
+					t.Fatalf("pre-swap: %v", err)
+				}
+				m.SetProgram(after, identity)
+				if segjit && m.jit != nil {
+					t.Fatal("hot-swap did not drop the segment compiler")
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("post-swap: %v", err)
+				}
+				return m
+			}
+			a := run(false)
+			b := run(true)
+			demandSameRun(t, a, b)
+		})
+	}
+}
+
+// TestSegJITSheriffDisabled: the Sheriff execution model keeps its own
+// memory semantics; SegmentJIT must gate itself off.
+func TestSegJITSheriffDisabled(t *testing.T) {
+	prog, specs := jitProg(100, 7)
+	m := New(prog, Config{Cores: 4, PrivateMemory: true, SegmentJIT: true}, specs)
+	if m.jit != nil {
+		t.Fatal("segment compiler active under PrivateMemory")
+	}
+}
+
+// TestSegJITAdaptiveDemotion: a core whose instruction mix never
+// compiles (atomics end every superblock below the minimum length) must
+// demote itself so the lookup leaves the hot path.
+func TestSegJITAdaptiveDemotion(t *testing.T) {
+	b := isa.NewBuilder().At("jit_test.c", 1)
+	b.Func("casworker")
+	entry := b.Pos()
+	b.Li(1, 0)
+	b.Label("casloop")
+	b.CAS(5, 0, 0, 2, 3, 8)
+	b.AddI(1, 1, 1)
+	b.CAS(5, 0, 0, 3, 2, 8)
+	b.BranchI(isa.Lt, 1, 50_000, "casloop")
+	b.Halt()
+	prog := b.Build()
+	specs := []ThreadSpec{{Entry: entry, Regs: map[isa.Reg]int64{
+		0: int64(mem.HeapBase), 2: 0, 3: 1,
+	}}}
+	m := New(prog, Config{Cores: 1, SegmentJIT: true}, specs)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.jit.cores[0]; g.ema >= jitDemoteFraction {
+		t.Fatalf("core never demoted: ema %.3f", g.ema)
+	}
+}
+
+// aluProg is a swaptions-shaped pure-ALU loop: one maximal superblock
+// per iteration, no memory traffic. This is the segment compiler's best
+// case and the shape behind the BENCH regression guard.
+func aluProg() (*isa.Program, []ThreadSpec) {
+	b := isa.NewBuilder().At("alu_bench.c", 1)
+	entries := make([]int, 4)
+	for tid := 0; tid < 4; tid++ {
+		b.Func(fmt.Sprintf("aluworker%d", tid))
+		entries[tid] = b.Pos()
+		b.Li(1, 0)
+		loop := fmt.Sprintf("aluloop%d", tid)
+		b.Label(loop)
+		b.AluI(isa.Mul, 4, 4, 1103515245)
+		b.AluI(isa.Add, 4, 4, 12345)
+		b.AluI(isa.Shr, 5, 4, 16)
+		b.AluI(isa.Mul, 5, 5, 3)
+		b.AluI(isa.Div, 5, 5, 7)
+		b.Add(6, 6, 5)
+		b.AddI(1, 1, 1)
+		b.BranchI(isa.Lt, 1, 1<<60, loop)
+		b.Halt()
+	}
+	prog := b.Build()
+	specs := make([]ThreadSpec, 4)
+	for i := range specs {
+		specs[i] = ThreadSpec{Entry: entries[i]}
+	}
+	return prog, specs
+}
+
+func benchMachine(b *testing.B, prog *isa.Program, specs []ThreadSpec, segjit bool) {
+	b.Helper()
+	m := New(prog, Config{Cores: 4, MaxCycles: 1 << 62, SegmentJIT: segjit}, specs)
+	var target uint64
+	const slice = 1 << 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for m.stats.Instructions < uint64(b.N) {
+		target += slice
+		if _, err := m.RunFor(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMachineStepALU(b *testing.B) {
+	prog, specs := aluProg()
+	benchMachine(b, prog, specs, false)
+}
+
+func BenchmarkMachineStepALUJIT(b *testing.B) {
+	prog, specs := aluProg()
+	benchMachine(b, prog, specs, true)
+}
+
+// BenchmarkMachineStepJIT is BenchmarkMachineStep with the segment
+// compiler on — the pair is the ns/instr regression guard's local
+// equivalent.
+func BenchmarkMachineStepJIT(b *testing.B) {
+	prog, specs := benchProg()
+	m := New(prog, Config{Cores: 4, MaxCycles: 1 << 62, SegmentJIT: true}, specs)
+	var target uint64
+	const slice = 1 << 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for m.stats.Instructions < uint64(b.N) {
+		target += slice
+		if _, err := m.RunFor(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,45 @@ func AutoPollInterval(base uint64, scale float64) uint64 {
 	return iv
 }
 
+// Speculative-repair trial budgets derive from the poll cadence: a
+// trial should observe the workload for a few trigger periods, no more.
+// trialBudgetPolls is that multiple; the clamps keep scaled sessions
+// honest at both ends. A session whose cadence was scaled far down
+// (AutoPollInterval at a small workload scale) would otherwise fork
+// trials too short to outlive a scheduler quantum, let alone settle a
+// measured verdict — the floor is two DefaultQuantum context-switch
+// periods. A session polling slower than the paper's cadence would
+// otherwise burn tens of millions of cycles per candidate re-measuring
+// what monitoring already knows — the cap is eight full-cadence polls.
+const (
+	trialBudgetPolls = 4
+	minTrialBudget   = 400_000    // 2 × machine.DefaultQuantum
+	maxTrialBudget   = 16_000_000 // 8 × DefaultConfig().PollInterval
+)
+
+// AutoTrialBudget returns the default speculative-repair trial budget
+// for a session whose base poll cadence and workload scale are given:
+// trialBudgetPolls trigger periods of the AutoPollInterval-derived
+// cadence, clamped to [minTrialBudget, maxTrialBudget]. At the paper's
+// full-length setup (base 2M, scale 1) this is exactly the historical
+// 4× poll interval, so full-fidelity runs are unchanged; scaled-down
+// runs stop starving their trials and slow-cadence runs stop wasting
+// cycles on them.
+//
+// A session that already resolved its cadence through AutoPollInterval
+// may pass that resolved interval with scale 1: AutoPollInterval is
+// idempotent in that composition, so the derived budget is identical.
+func AutoTrialBudget(base uint64, scale float64) uint64 {
+	b := trialBudgetPolls * AutoPollInterval(base, scale)
+	if b < minTrialBudget {
+		return minTrialBudget
+	}
+	if b > maxTrialBudget {
+		return maxTrialBudget
+	}
+	return b
+}
+
 // WithAutoPollInterval derives the session's poll cadence from the
 // workload scale instead of taking a fixed cycle count: the configured
 // base interval (DefaultConfig's, or WithConfig's) is scaled by

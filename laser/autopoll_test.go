@@ -25,6 +25,38 @@ func TestAutoPollIntervalMath(t *testing.T) {
 	}
 }
 
+func TestAutoTrialBudgetMath(t *testing.T) {
+	const base = 2_000_000
+	for _, tc := range []struct {
+		scale float64
+		want  uint64
+	}{
+		{1, 8_000_000},    // full fidelity: the historical 4× poll interval
+		{2.5, 8_000_000},  // scaling up never stretches the cadence or the budget
+		{0.5, 4_000_000},  // proportional band: budget follows the cadence
+		{0.2, 1_600_000},
+		{0.05, 400_000},   // exactly the floor
+		{0.01, 400_000},   // below: a trial still outlives two quanta
+		{1e-9, 400_000},
+	} {
+		if got := AutoTrialBudget(base, tc.scale); got != tc.want {
+			t.Errorf("AutoTrialBudget(%d, %g) = %d, want %d", base, tc.scale, got, tc.want)
+		}
+	}
+	// A slow cadence is capped instead of burning 4× its full period.
+	if got := AutoTrialBudget(8_000_000, 1); got != maxTrialBudget {
+		t.Errorf("AutoTrialBudget(8M, 1) = %d, want cap %d", got, maxTrialBudget)
+	}
+	// Composition: deriving from an already-resolved cadence at scale 1
+	// equals deriving from the base cadence at the original scale.
+	for _, scale := range []float64{1e-9, 0.01, 0.2, 0.5, 1, 3} {
+		resolved := AutoPollInterval(base, scale)
+		if a, b := AutoTrialBudget(resolved, 1), AutoTrialBudget(base, scale); a != b {
+			t.Errorf("scale %g: AutoTrialBudget(resolved, 1) = %d != AutoTrialBudget(base, scale) = %d", scale, a, b)
+		}
+	}
+}
+
 // The option path: an auto-derived cadence lands in the session config,
 // scaled from the configured base.
 func TestWithAutoPollIntervalResolution(t *testing.T) {

@@ -14,13 +14,15 @@ import (
 //
 // Execution-engine knobs that are proven not to affect simulated
 // results — IntraRunParallelism, whose output is byte-identical at any
-// worker count — are excluded, so a cache entry computed under one
-// engine split is valid under every other.
+// worker count, and SegmentJIT, whose compiled blocks retire the exact
+// interpreter schedule — are excluded, so a cache entry computed under
+// one engine configuration is valid under every other.
 //
 // The experiment harness uses the fingerprint as the configuration
 // component of its persistent run-cache keys.
 func (c Config) Fingerprint() string {
 	c.IntraRunParallelism = 0
+	c.SegmentJIT = false
 	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", c)))
 	return hex.EncodeToString(sum[:12])
 }

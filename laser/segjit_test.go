@@ -1,0 +1,151 @@
+package laser
+
+// Interpreter-vs-compiled equivalence for the segment compiler
+// (machine.Config.SegmentJIT): every stock workload, at worker counts
+// {1, 2, 4}, must produce exactly the run the interpreter produces —
+// same statistics, same coherence counters, same HITM ground truth,
+// byte-identical rendered reports, identical event streams. The
+// compiler is a pure execution-speed policy; any divergence here is a
+// soundness bug, not a tuning matter.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestSegJITEquivalenceAllWorkloads sweeps every stock workload natively:
+// one interpreted reference run, then compiled runs under the serial
+// scheduler and the intra-run parallel engine at 2 and 4 workers. The
+// final assertion demands the compiler actually engaged somewhere in the
+// sweep, so a silently disabled JIT cannot fake a green sweep.
+func TestSegJITEquivalenceAllWorkloads(t *testing.T) {
+	scale := 0.2
+	if testing.Short() {
+		scale = 0.08
+	}
+	var compiled uint64
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(par int, jit bool) (*machine.Stats, []uint64) {
+				img := w.Build(workload.Options{Scale: scale})
+				m := machine.New(img.Prog, machine.Config{
+					Cores:             4,
+					Parallelism:       par,
+					DispatchThreshold: 64,
+					SegmentJIT:        jit,
+					PrivateData:       img.PrivateRanges(),
+					ValidateSharing:   true,
+				}, img.Specs)
+				img.Init(m)
+				st, err := m.Run()
+				if err != nil {
+					t.Fatalf("par %d jit %v: %v", par, jit, err)
+				}
+				if par > 1 && !m.IntraRunParallel() {
+					t.Fatalf("par %d: parallel engine not engaged", par)
+				}
+				return st, m.CoherenceCounts()
+			}
+			ref, refCoh := run(1, false)
+			if ref.CompiledInstrs != 0 {
+				t.Fatalf("interpreted run reported %d compiled instructions", ref.CompiledInstrs)
+			}
+			for _, par := range []int{1, 2, 4} {
+				st, coh := run(par, true)
+				compiled += st.CompiledInstrs
+				if st.CompiledInstrs > st.Instructions {
+					t.Fatalf("par %d: compiled %d of %d instructions", par, st.CompiledInstrs, st.Instructions)
+				}
+				if st.Cycles != ref.Cycles ||
+					st.Instructions != ref.Instructions ||
+					st.MemAccesses != ref.MemAccesses ||
+					st.HITMLoads != ref.HITMLoads ||
+					st.HITMStores != ref.HITMStores ||
+					st.Flushes != ref.Flushes {
+					t.Fatalf("par %d: stats diverged\ninterpreted: %+v\ncompiled:    %+v", par, ref, st)
+				}
+				if !reflect.DeepEqual(st.HITMByPC, ref.HITMByPC) {
+					t.Fatalf("par %d: HITMByPC diverged", par)
+				}
+				if !reflect.DeepEqual(st.CoreCycles, ref.CoreCycles) {
+					t.Fatalf("par %d: per-core cycles diverged", par)
+				}
+				if !reflect.DeepEqual(coh, refCoh) {
+					t.Fatalf("par %d: coherence counts diverged\ninterpreted: %v\ncompiled:    %v", par, refCoh, coh)
+				}
+			}
+		})
+	}
+	if compiled == 0 {
+		t.Fatal("segment compiler never engaged across the sweep")
+	}
+}
+
+// TestSegJITSessionEquivalence runs the full LASER stack — PEBS
+// sampling, driver, detector, online repair — with the segment compiler
+// off and on, and demands byte-identical rendered reports, identical
+// typed event streams, and the same statistics and repair outcome.
+// Repair exercises the hot-swap invalidation path end to end: the
+// rewritten program must never execute a closure compiled for the old
+// one, or the post-repair HITM profile (and thus the report) diverges.
+func TestSegJITSessionEquivalence(t *testing.T) {
+	scale := 0.4
+	if testing.Short() {
+		scale = 0.2
+	}
+	for _, name := range []string{"histogram'", "swaptions", "linear_regression"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(jit bool, par int) (*Result, string, []string) {
+				w, ok := workload.Get(name)
+				if !ok {
+					t.Fatalf("unknown workload %q", name)
+				}
+				img := w.Build(workload.Options{Scale: scale, HeapBias: AttachBias})
+				var events []string
+				s, err := Attach(img,
+					WithMaxEpochs(1),
+					WithPostRepairMonitoring(false),
+					WithIntraRunParallelism(par),
+					WithSegmentJIT(jit),
+					WithObserver(func(e Event) { events = append(events, fmt.Sprintf("%v", e)) }))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				res, err := s.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, res.Report.Render(), events
+			}
+			ref, refRep, refEvents := run(false, 1)
+			for _, par := range []int{1, 2, 4} {
+				res, rep, events := run(true, par)
+				if rep != refRep {
+					t.Fatalf("par %d: rendered reports differ:\ninterpreted:\n%s\ncompiled:\n%s", par, refRep, rep)
+				}
+				if !reflect.DeepEqual(events, refEvents) {
+					t.Fatalf("par %d: event streams diverged:\ninterpreted: %v\ncompiled:    %v", par, refEvents, events)
+				}
+				if res.Stats.Cycles != ref.Stats.Cycles ||
+					res.Stats.Instructions != ref.Stats.Instructions ||
+					res.RepairApplied != ref.RepairApplied ||
+					res.Seconds != ref.Seconds {
+					t.Fatalf("par %d: results diverged: interpreted %+v vs compiled %+v", par, ref.Stats, res.Stats)
+				}
+				if res.DriverStats != ref.DriverStats || res.PEBSStats != ref.PEBSStats {
+					t.Fatalf("par %d: monitoring stats diverged", par)
+				}
+				if !reflect.DeepEqual(res.Stats.HITMByPC, ref.Stats.HITMByPC) {
+					t.Fatalf("par %d: HITMByPC diverged", par)
+				}
+			}
+		})
+	}
+}

@@ -62,8 +62,11 @@ func (s *Session) runTrials(pcs []mem.Addr) ([]repair.TrialResult, error) {
 	budget := s.cfg.TrialBudget
 	if budget == 0 {
 		// Resolved here rather than in Validate so the configuration
-		// fingerprint is independent of the poll cadence it derives from.
-		budget = 4 * s.cfg.PollInterval
+		// fingerprint is independent of the poll cadence it derives
+		// from. The session's PollInterval already carries the workload
+		// scale (AutoPollInterval applied at attach), so scale 1 here
+		// composes to the same budget as deriving from the base cadence.
+		budget = AutoTrialBudget(s.cfg.PollInterval, 1)
 	}
 	blob, err := s.CaptureState().Encode()
 	if err != nil {
